@@ -1,0 +1,42 @@
+"""Ablation (DESIGN.md #2): the host-DMA (PCI) stage bounds GM bandwidth.
+
+The GM plateau emerges from the per-packet pipeline's slowest stage — the
+shared host bus — not from a configured constant.  Scaling the bus rate
+moves the plateau proportionally while the wire (160 MB/s) stays fixed.
+"""
+
+import dataclasses
+
+from repro.config import gm_system
+from repro.core import PollingConfig, run_polling
+
+KB = 1024
+
+
+def _plateau_at(dma_MBps: float) -> float:
+    base = gm_system()
+    machine = dataclasses.replace(
+        base.machine,
+        nic=dataclasses.replace(
+            base.machine.nic, host_dma_bandwidth_Bps=dma_MBps * 1e6
+        ),
+    )
+    system = dataclasses.replace(base, machine=machine)
+    pt = run_polling(system, PollingConfig(
+        msg_bytes=100 * KB, poll_interval_iters=1_000, measure_s=0.05,
+    ))
+    return pt.bandwidth_MBps
+
+
+def test_ablation_host_dma_bandwidth(benchmark):
+    """GM plateau tracks the host-bus rate (the 2002 PCI bottleneck)."""
+    def sweep():
+        return {mb: _plateau_at(mb) for mb in (60, 91, 130)}
+
+    plateaus = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for mb, bw in plateaus.items():
+        print(f"  host bus {mb:4d} MB/s -> plateau {bw:6.2f} MB/s")
+    assert plateaus[60] < plateaus[91] < plateaus[130]
+    # Within the bus-bound regime the plateau scales roughly linearly.
+    assert 0.85 <= plateaus[60] / (plateaus[91] * 60 / 91) <= 1.15

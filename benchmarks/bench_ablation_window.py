@@ -1,0 +1,38 @@
+"""Ablation (DESIGN.md #5 adjunct): the go-back-N window on Portals.
+
+The window couples sender pacing to receiver interrupt processing.  Larger
+windows keep the receiver's kernel queue saturated (lower availability,
+slightly higher bandwidth); the calibrated default (3) reproduces the
+paper's availability plateau and the monotonic PWW wait decline.
+"""
+
+import dataclasses
+
+from repro.config import portals_system
+from repro.core import PollingConfig, run_polling
+
+KB = 1024
+
+
+def _with_window(window: int):
+    base = portals_system()
+    system = dataclasses.replace(
+        base, portals=dataclasses.replace(base.portals, tx_window_pkts=window),
+    )
+    return run_polling(system, PollingConfig(
+        msg_bytes=100 * KB, poll_interval_iters=1_000, measure_s=0.05,
+    ))
+
+
+def test_ablation_tx_window(benchmark):
+    """Wider windows trade application CPU for marginal bandwidth."""
+    def sweep():
+        return {w: _with_window(w) for w in (2, 3, 8)}
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for w, pt in points.items():
+        print(f"  window {w:2d}: bw={pt.bandwidth_MBps:6.2f} MB/s "
+              f"avail={pt.availability:.3f}")
+    assert points[8].availability < points[2].availability
+    assert points[8].bandwidth_MBps > points[2].bandwidth_MBps * 0.9

@@ -1,0 +1,13 @@
+"""Bench fig04: Polling method: CPU availability vs poll interval (Portals).
+
+Regenerates the paper's Figure 4 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig04_polling_availability(benchmark):
+    """Regenerate Figure 4 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig04", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

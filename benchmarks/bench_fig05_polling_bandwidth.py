@@ -1,0 +1,13 @@
+"""Bench fig05: Polling method: bandwidth vs poll interval (Portals).
+
+Regenerates the paper's Figure 5 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig05_polling_bandwidth(benchmark):
+    """Regenerate Figure 5 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig05", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig06: PWW method: CPU availability vs work interval (Portals).
+
+Regenerates the paper's Figure 6 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig06_pww_availability(benchmark):
+    """Regenerate Figure 6 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig06", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

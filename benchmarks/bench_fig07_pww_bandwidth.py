@@ -1,0 +1,13 @@
+"""Bench fig07: PWW method: bandwidth vs work interval (Portals).
+
+Regenerates the paper's Figure 7 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig07_pww_bandwidth(benchmark):
+    """Regenerate Figure 7 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig07", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig08: Polling bandwidth: GM vs Portals (the OS-bypass advantage).
+
+Regenerates the paper's Figure 8 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig08_polling_gm_vs_portals(benchmark):
+    """Regenerate Figure 8 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig08", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig09: PWW bandwidth: GM vs Portals, converging at large work.
+
+Regenerates the paper's Figure 9 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig09_pww_gm_vs_portals(benchmark):
+    """Regenerate Figure 9 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig09", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig10: PWW average post time: user-level GM vs kernel-trap Portals.
+
+Regenerates the paper's Figure 10 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig10_pww_post_time(benchmark):
+    """Regenerate Figure 10 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig10", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

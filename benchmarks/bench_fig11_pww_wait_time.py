@@ -1,0 +1,13 @@
+"""Bench fig11: PWW average wait time: the application-offload signature.
+
+Regenerates the paper's Figure 11 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig11_pww_wait_time(benchmark):
+    """Regenerate Figure 11 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig11", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

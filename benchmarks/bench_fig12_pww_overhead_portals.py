@@ -1,0 +1,13 @@
+"""Bench fig12: PWW work-phase overhead for Portals (interrupt gap).
+
+Regenerates the paper's Figure 12 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig12_pww_overhead_portals(benchmark):
+    """Regenerate Figure 12 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig12", grid=(100_000, 300_000, 500_000))
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig13: PWW work-phase overhead for GM (no gap).
+
+Regenerates the paper's Figure 13 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig13_pww_overhead_gm(benchmark):
+    """Regenerate Figure 13 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig13", grid=(100_000, 300_000, 500_000))
+    assert_claims(fig)

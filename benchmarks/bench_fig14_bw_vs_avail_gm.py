@@ -1,0 +1,13 @@
+"""Bench fig14: Polling bandwidth vs availability for GM (plus 10 KB eager).
+
+Regenerates the paper's Figure 14 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig14_bw_vs_avail_gm(benchmark):
+    """Regenerate Figure 14 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig14", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig15: Polling bandwidth vs availability for Portals (overhead-bound).
+
+Regenerates the paper's Figure 15 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig15_bw_vs_avail_portals(benchmark):
+    """Regenerate Figure 15 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig15", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

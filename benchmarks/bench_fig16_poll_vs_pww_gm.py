@@ -1,0 +1,13 @@
+"""Bench fig16: Bandwidth/availability trade-off: polling vs PWW on GM.
+
+Regenerates the paper's Figure 16 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig16_poll_vs_pww_gm(benchmark):
+    """Regenerate Figure 16 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig16", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

@@ -1,0 +1,13 @@
+"""Bench fig17: One MPI_Test in the work phase restores GM overlap.
+
+Regenerates the paper's Figure 17 and verifies its claims on the fresh
+data; the benchmark time is the cost of the full sweep.
+"""
+
+from conftest import BENCH_PER_DECADE, assert_claims, regenerate
+
+
+def test_fig17_pww_with_test(benchmark):
+    """Regenerate Figure 17 and check the paper's claims."""
+    fig = regenerate(benchmark, "fig17", per_decade=BENCH_PER_DECADE)
+    assert_claims(fig)

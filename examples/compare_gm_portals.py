@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Compare GM and Portals the way the paper's §4 does.
+
+Regenerates the data behind Figures 8 (polling bandwidth), 10 (post time)
+and 11 (wait time) and renders them as terminal plots.
+
+Usage::
+
+    python examples/compare_gm_portals.py [--per-decade N]
+"""
+
+import argparse
+
+from repro.analysis import render, run_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--per-decade", type=int, default=2,
+                        help="sweep resolution (points per decade)")
+    args = parser.parse_args()
+
+    for fig_id in ("fig08", "fig10", "fig11"):
+        report = run_figure(fig_id, per_decade=args.per_decade)
+        print(render(report.figure))
+        for claim in report.claims:
+            mark = "PASS" if claim.ok else "FAIL"
+            print(f"  [{mark}] {claim.claim} ({claim.detail})")
+        print()
+
+    print("Reading the tea leaves, as §4.1 does:")
+    print("  * Fig 8: GM's OS-bypass path moves bytes without interrupts or")
+    print("    kernel copies, so it sustains far higher bandwidth.")
+    print("  * Fig 10: Portals posts trap into the kernel (expensive); GM")
+    print("    posts are user-level descriptor writes.")
+    print("  * Fig 11: with a long work phase, Portals finishes messaging")
+    print("    before the wait (application offload); GM still pays the")
+    print("    whole transfer in MPI_Waitall — no library calls, no data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Collectives at scale: overlap effects beyond two nodes.
+
+The paper's §7 plans to take COMB to the DOE ASCI machines; this example
+takes the simulator there first.  It times broadcast, allreduce and
+all-to-all on 2–8 node GM and Portals clusters and shows how the per-node
+CPU cost of the kernel stack compounds with fan-in.
+
+Usage::
+
+    python examples/multinode_collectives.py [--size 100]
+"""
+
+import argparse
+
+from repro.config import gm_system, portals_system
+from repro.mpi import allreduce, alltoall, bcast, build_world
+
+KB = 1024
+
+
+def time_collective(system, n_nodes, coll, nbytes):
+    """Wall time until every rank finishes the collective."""
+    world = build_world(system, n_nodes=n_nodes)
+    engine = world.engine
+
+    def rank_proc(rank):
+        ctx = world.cluster[rank].new_context(f"coll.{rank}")
+        h = world.endpoint(rank).bind(ctx)
+        yield from coll(h, nbytes)
+
+    procs = [engine.spawn(rank_proc(r)) for r in range(n_nodes)]
+    engine.run(engine.all_of(procs))
+    return engine.now
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=float, default=100,
+                        help="payload per rank (KB)")
+    args = parser.parse_args()
+    nbytes = int(args.size * KB)
+
+    collectives = [("bcast", bcast), ("allreduce", allreduce),
+                   ("alltoall", alltoall)]
+    print(f"payload {args.size:g} KB per rank\n")
+    for name, coll in collectives:
+        print(f"{name}:")
+        print(f"  {'nodes':>5s} {'GM':>12s} {'Portals':>12s} {'ratio':>7s}")
+        for n in (2, 4, 8):
+            t_gm = time_collective(gm_system(), n, coll, nbytes)
+            t_po = time_collective(portals_system(), n, coll, nbytes)
+            print(f"  {n:5d} {t_gm * 1e3:9.2f} ms {t_po * 1e3:9.2f} ms "
+                  f"{t_po / t_gm:6.2f}x")
+        print()
+    print("bcast scales with tree depth (1/2/3 rounds for 2/4/8 nodes) on")
+    print("both stacks; the constant ~2x Portals penalty is the per-byte")
+    print("interrupt+copy cost every hop pays, which GM's NIC-driven DMA")
+    print("avoids entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: run both COMB methods on both of the paper's systems.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import CombSuite, gm_system, portals_system
+
+KB = 1024
+
+
+def main() -> None:
+    for system in (gm_system(), portals_system()):
+        suite = CombSuite(system)
+        print(f"=== {system.name} ===")
+
+        # Polling method (paper §2.1): bandwidth vs CPU availability at a
+        # moderate poll interval.
+        pt = suite.polling(msg_bytes=100 * KB, poll_interval_iters=10_000)
+        print(f"  polling @ 10k iters : bandwidth {pt.bandwidth_MBps:6.2f} MB/s, "
+              f"availability {pt.availability:.3f}")
+
+        # Post-Work-Wait method (paper §2.2): where does host time go?
+        pw = suite.pww(msg_bytes=100 * KB, work_interval_iters=1_000_000)
+        print(f"  PWW @ 1M iters      : post {pw.post_s * 1e6:6.1f} us, "
+              f"work {pw.work_s * 1e6:8.1f} us "
+              f"(dry {pw.work_dry_s * 1e6:.1f} us), "
+              f"wait {pw.wait_s * 1e6:7.1f} us")
+
+        # The headline question: does this stack provide application
+        # offload (progress without MPI library calls)?
+        print(f"  {suite.offload_report()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

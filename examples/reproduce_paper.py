@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every results figure of the paper (Figs 4–17).
+
+Renders terminal plots, checks the paper's qualitative claims against the
+regenerated data, and optionally exports CSV/JSON per figure.
+
+Usage::
+
+    python examples/reproduce_paper.py                 # full resolution
+    python examples/reproduce_paper.py --quick         # coarse grids
+    python examples/reproduce_paper.py --out results/  # plus CSV/JSON
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis import export_figures, format_report, run_all
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="1 point per decade instead of 2")
+    parser.add_argument("--out", default=None,
+                        help="directory to export CSV/JSON into")
+    parser.add_argument("--ids", nargs="*", default=None,
+                        help="subset of figure ids (fig04..fig17)")
+    args = parser.parse_args()
+
+    t0 = time.time()
+    reports = run_all(per_decade=1 if args.quick else 2, fig_ids=args.ids)
+    print(format_report(reports))
+    if args.out:
+        paths = export_figures([r.figure for r in reports], args.out)
+        print(f"\nexported {len(paths)} files to {args.out}")
+    print(f"\nregenerated {len(reports)} figures in {time.time() - t0:.1f}s")
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

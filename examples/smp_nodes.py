@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""SMP nodes: the paper's §7 future work, implemented.
+
+The uniprocessor availability method reports one number per node; on an
+SMP node that number only describes the processor the interrupts land on.
+This example runs the polling method on 2- and 4-way Portals nodes and
+measures each CPU independently.
+
+Usage::
+
+    python examples/smp_nodes.py
+"""
+
+from repro import PollingConfig, portals_system
+from repro.ext import run_smp_polling, smp_system
+
+KB = 1024
+
+
+def main() -> None:
+    cfg = PollingConfig(msg_bytes=100 * KB, poll_interval_iters=1_000,
+                        measure_s=0.03, warmup_s=0.005)
+    for n_cpus in (2, 4):
+        system = smp_system(portals_system(), n_cpus)
+        result = run_smp_polling(system, cfg)
+        cpus = "  ".join(
+            f"cpu{i}={a:.3f}" for i, a in enumerate(result.per_cpu_availability)
+        )
+        print(f"{n_cpus}-way node: bandwidth "
+              f"{result.bandwidth_Bps / 1e6:6.2f} MB/s")
+        print(f"  per-CPU availability: {cpus}")
+        print(f"  naive single figure : {result.naive_availability:.3f} "
+              f"(describes only the interrupt CPU)")
+        print()
+
+    print("Interrupts are routed to CPU 0 (as on 2002-era Linux): the other")
+    print("processors keep ~100% availability, which the uniprocessor")
+    print("method cannot express — hence the per-CPU extension.")
+
+
+if __name__ == "__main__":
+    main()

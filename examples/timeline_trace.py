@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Timelines: watch CPU and traffic evolve during a COMB polling run.
+
+Samples the worker node's CPU split and the device byte counters every
+200 µs while the polling method runs on GM and on Portals, and renders
+the series as terminal sparklines.  The Portals picture — a kernel band
+eating a constant slice of every millisecond — *is* Figure 4's low
+availability plateau, seen in the time domain.
+
+Usage::
+
+    python examples/timeline_trace.py
+"""
+
+import repro.core.polling as polling
+from repro.config import gm_system, portals_system
+from repro.core.polling import PollingConfig
+from repro.mpi import build_world
+from repro.sim import Monitor, sparkline
+
+KB = 1024
+
+
+def run_with_monitor(system):
+    cfg = PollingConfig(msg_bytes=100 * KB, poll_interval_iters=1_000,
+                        measure_s=0.02, warmup_s=0.004)
+    world = build_world(system)
+    engine = world.engine
+    node = world.cluster[0]
+    dev = world.endpoint(0).device
+
+    monitor = Monitor(engine, period_s=200e-6)
+    monitor.probe("user CPU (s, cumulative)",
+                  lambda: node.cpu.snapshot()["user_s"])
+    monitor.probe("kernel CPU (s, cumulative)",
+                  lambda: node.cpu.snapshot()["kernel_s"])
+    monitor.probe("payload bytes done",
+                  lambda: dev.stats.bytes_recv_done + dev.stats.bytes_send_done)
+    monitor.probe("interrupts", lambda: float(node.irq.count))
+
+    state = polling._WorkerState()
+    worker = engine.spawn(polling._worker(world, cfg, state), name="worker")
+    engine.spawn(polling._support(world, cfg), name="support")
+    engine.run(worker)
+    monitor.stop()
+    return state.result, monitor
+
+
+def main() -> None:
+    for system in (gm_system(), portals_system()):
+        result, monitor = run_with_monitor(system)
+        print(f"=== {system.name}: bw={result.bandwidth_MBps:.1f} MB/s, "
+              f"availability={result.availability:.3f} ===")
+        for name in ("user CPU (s, cumulative)", "kernel CPU (s, cumulative)",
+                     "payload bytes done", "interrupts"):
+            rate = monitor.series[name].rate()
+            print(" ", sparkline(rate))
+        print()
+    print("Rates per 200 µs sample.  GM: kernel flat at zero, user pegged")
+    print("(the application keeps the CPU).  Portals: a steady kernel band")
+    print("throttles the user rate — the availability plateau in the time")
+    print("domain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py shim: enables legacy editable installs on environments
+without the `wheel` package (offline).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

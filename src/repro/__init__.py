@@ -1,0 +1,87 @@
+"""COMB — A Portable Benchmark Suite for Assessing MPI Overlap, reproduced.
+
+A faithful reimplementation of Lawry, Wilson, Maccabe & Brightwell's COMB
+benchmark suite (IEEE Cluster 2002) on a deterministic discrete-event
+cluster simulator: a 500 MHz-class node pair with Myrinet-style NICs, a
+GM-like OS-bypass stack (library-polled progress, eager/rendezvous) and a
+kernel-Portals-like stack (interrupt-driven, application offload), plus the
+suite's two measurement methods (Polling and Post-Work-Wait) and every
+results figure of the paper.
+
+Quickstart::
+
+    from repro import CombSuite, gm_system, portals_system
+
+    suite = CombSuite(gm_system())
+    pt = suite.polling(msg_bytes=100 * 1024, poll_interval_iters=10_000)
+    print(pt.bandwidth_MBps, pt.availability)
+    print(CombSuite(portals_system()).offload_report())
+"""
+
+from .config import (
+    CpuConfig,
+    GmParams,
+    InterruptConfig,
+    MachineConfig,
+    NicConfig,
+    PortalsParams,
+    PRESETS,
+    ProgressModel,
+    SwitchConfig,
+    SystemConfig,
+    TcpParams,
+    TransportKind,
+    get_system,
+    gm_system,
+    portals_system,
+    tcp_system,
+)
+from .core import (
+    CombSuite,
+    OffloadVerdict,
+    PAPER_SIZES,
+    PollingConfig,
+    PollingPoint,
+    PwwConfig,
+    PwwPoint,
+    Series,
+    run_polling,
+    run_pww,
+)
+from .mpi import ANY_SOURCE, ANY_TAG, World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CombSuite",
+    "CpuConfig",
+    "GmParams",
+    "InterruptConfig",
+    "MachineConfig",
+    "NicConfig",
+    "OffloadVerdict",
+    "PAPER_SIZES",
+    "PRESETS",
+    "PollingConfig",
+    "PollingPoint",
+    "PortalsParams",
+    "ProgressModel",
+    "PwwConfig",
+    "PwwPoint",
+    "Series",
+    "SwitchConfig",
+    "SystemConfig",
+    "TcpParams",
+    "TransportKind",
+    "World",
+    "__version__",
+    "build_world",
+    "get_system",
+    "gm_system",
+    "portals_system",
+    "run_polling",
+    "run_pww",
+    "tcp_system",
+]

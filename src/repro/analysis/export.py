@@ -1,0 +1,49 @@
+"""CSV/JSON export of regenerated figures."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .figures import FigureData
+
+
+def write_csv(fig: FigureData, path: Union[str, Path]) -> Path:
+    """Write one figure as a long-format CSV (curve, x, y)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["curve", fig.xlabel, fig.ylabel])
+        for curve in fig.curves:
+            for x, y in zip(curve.x, curve.y):
+                writer.writerow([curve.label, repr(x), repr(y)])
+    return path
+
+
+def write_json(fig: FigureData, path: Union[str, Path]) -> Path:
+    """Write one figure as JSON (all metadata included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fig.to_dict(), indent=2))
+    return path
+
+
+def export_figures(
+    figs: Iterable[FigureData],
+    directory: Union[str, Path],
+    svg: bool = True,
+) -> list:
+    """Write CSV + JSON (+ browser-viewable SVG) per figure."""
+    from .svg_plot import write_svg
+
+    directory = Path(directory)
+    written = []
+    for fig in figs:
+        written.append(write_csv(fig, directory / f"{fig.fig_id}.csv"))
+        written.append(write_json(fig, directory / f"{fig.fig_id}.json"))
+        if svg:
+            written.append(write_svg(fig, directory / f"{fig.fig_id}.svg"))
+    return written

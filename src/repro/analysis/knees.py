@@ -1,0 +1,117 @@
+"""Knee detection on polling curves.
+
+Figures 4/5's defining feature is the *knee*: the poll interval beyond
+which all in-flight messages complete within one interval, so bandwidth
+collapses and availability climbs.  The pipeline model predicts its
+location:
+
+    t_knee ≈ (2 · queue_depth · msg_bytes) / plateau_bandwidth
+    knee_iters = t_knee / work_iter_s
+
+This module measures knees from swept curves and compares them with that
+prediction — a quantitative check that the simulator's knees *emerge* from
+the modelled pipeline rather than being placed by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..core.polling import PollingConfig
+from ..core.results import Series
+from ..core.sweep import log_intervals, polling_sweep
+
+
+@dataclass
+class Knee:
+    """A located bandwidth knee."""
+
+    system: str
+    msg_bytes: int
+    queue_depth: int
+    #: Plateau bandwidth (median of the pre-knee half of the curve).
+    plateau_Bps: float
+    #: Measured knee (log-interpolated interval where bandwidth crosses
+    #: half the plateau).
+    measured_iters: float
+    #: Pipeline-model prediction (see module docstring).
+    predicted_iters: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted — ~1 when the model explains the knee."""
+        return self.measured_iters / self.predicted_iters
+
+
+def find_knee_iters(series: Series) -> Optional[float]:
+    """Log-interpolated poll interval where bandwidth falls to half the
+    plateau; ``None`` if the curve never collapses."""
+    xs = series.xs("poll_interval_iters")
+    ys = series.xs("bandwidth_Bps")
+    if len(xs) < 3:
+        return None
+    plateau_vals = sorted(ys[: max(2, len(ys) // 3)])
+    plateau = plateau_vals[len(plateau_vals) // 2]
+    half = plateau / 2
+    for i in range(1, len(xs)):
+        if ys[i] < half <= ys[i - 1]:
+            # Interpolate in log-x.
+            x0, x1 = math.log10(xs[i - 1]), math.log10(xs[i])
+            y0, y1 = ys[i - 1], ys[i]
+            frac = (y0 - half) / (y0 - y1)
+            return 10 ** (x0 + frac * (x1 - x0))
+    return None
+
+
+def measure_knee(
+    system: SystemConfig,
+    msg_bytes: int,
+    per_decade: int = 3,
+    base: Optional[PollingConfig] = None,
+) -> Knee:
+    """Sweep the polling method and locate/predict the knee."""
+    base = base or PollingConfig(msg_bytes=msg_bytes)
+    series = polling_sweep(
+        system, msg_bytes, log_intervals(1e3, 1e8, per_decade), base=base
+    )
+    measured = find_knee_iters(series)
+    if measured is None:
+        raise RuntimeError(
+            f"{system.name}/{msg_bytes}B: no knee found in sweep"
+        )
+    ys = series.xs("bandwidth_Bps")
+    plateau_vals = sorted(ys[: max(2, len(ys) // 3)])
+    plateau = plateau_vals[len(plateau_vals) // 2]
+    t_knee = 2 * base.queue_depth * msg_bytes / plateau
+    predicted = t_knee / system.machine.cpu.work_iter_s
+    return Knee(
+        system=system.name,
+        msg_bytes=msg_bytes,
+        queue_depth=base.queue_depth,
+        plateau_Bps=plateau,
+        measured_iters=measured,
+        predicted_iters=predicted,
+    )
+
+
+def knee_table(system: SystemConfig, sizes: Sequence[int],
+               per_decade: int = 3) -> List[Knee]:
+    """Knees for several message sizes."""
+    return [measure_knee(system, s, per_decade=per_decade) for s in sizes]
+
+
+def format_knees(knees: Sequence[Knee]) -> str:
+    """Aligned text table of measured vs predicted knees."""
+    lines = [f"{'system':10s} {'size':>7s} {'plateau':>9s} "
+             f"{'measured':>11s} {'predicted':>11s} {'ratio':>6s}"]
+    for k in knees:
+        lines.append(
+            f"{k.system:10s} {k.msg_bytes // 1024:4d} KB "
+            f"{k.plateau_Bps / 1e6:6.1f} MB/s "
+            f"{k.measured_iters:11.3g} {k.predicted_iters:11.3g} "
+            f"{k.ratio:6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Baseline measurements COMB is compared against (paper §5)."""
+
+from .netperf import DELAY_ITERS, NetperfResult, run_netperf
+from .pingpong import PingPongResult, run_pingpong
+from .whitebova import OverlapClassification, classify_overlap, classify_sizes
+
+__all__ = [
+    "DELAY_ITERS",
+    "NetperfResult",
+    "OverlapClassification",
+    "PingPongResult",
+    "classify_overlap",
+    "classify_sizes",
+    "run_netperf",
+    "run_pingpong",
+]

@@ -1,0 +1,79 @@
+"""Classic ping-pong latency/bandwidth microbenchmark.
+
+This is the style of measurement COMB's introduction criticizes: it
+captures latency and peak bandwidth but says nothing about how much CPU the
+application keeps, or whether communication progresses during computation.
+Included both as a baseline and as a calibration aid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SystemConfig
+from ..mpi.world import build_world
+from ..sim.units import to_mbps
+
+
+@dataclass
+class PingPongResult:
+    """Ping-pong outcome for one message size."""
+
+    system: str
+    msg_bytes: int
+    #: Half round-trip time (the usual "latency" number).
+    latency_s: float
+    #: One-way goodput: msg_bytes / half-RTT.
+    bandwidth_Bps: float
+    repeats: int
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        """Bandwidth in MB/s."""
+        return to_mbps(self.bandwidth_Bps)
+
+
+def run_pingpong(
+    system: SystemConfig,
+    msg_bytes: int,
+    repeats: int = 20,
+    warmup: int = 3,
+) -> PingPongResult:
+    """Measure mean half-RTT over ``repeats`` exchanges (after warmup)."""
+    if repeats < 1 or warmup < 0:
+        raise ValueError("repeats >= 1 and warmup >= 0 required")
+    world = build_world(system)
+    engine = world.engine
+    ctx0 = world.cluster[0].new_context("pingpong.initiator")
+    ctx1 = world.cluster[1].new_context("pingpong.echo")
+    h0 = world.endpoint(0).bind(ctx0)
+    h1 = world.endpoint(1).bind(ctx1)
+    out = {}
+
+    def initiator():
+        for _ in range(warmup):
+            yield from h0.send(1, msg_bytes, tag=1)
+            yield from h0.recv(1, msg_bytes, tag=2)
+        t0 = engine.now
+        for _ in range(repeats):
+            yield from h0.send(1, msg_bytes, tag=1)
+            yield from h0.recv(1, msg_bytes, tag=2)
+        out["rtt"] = (engine.now - t0) / repeats
+
+    def echo():
+        for _ in range(warmup + repeats):
+            yield from h1.recv(0, msg_bytes, tag=1)
+            yield from h1.send(0, msg_bytes, tag=2)
+
+    proc = engine.spawn(initiator(), name="pingpong.initiator")
+    engine.spawn(echo(), name="pingpong.echo")
+    engine.run(proc)
+    half = out["rtt"] / 2
+    return PingPongResult(
+        system=system.name,
+        msg_bytes=msg_bytes,
+        latency_s=half,
+        bandwidth_Bps=(msg_bytes / half) if half > 0 else 0.0,
+        repeats=repeats,
+    )

@@ -1,0 +1,227 @@
+"""``comb`` command-line interface.
+
+Subcommands::
+
+    comb polling --system GM --size 100 --interval 10000
+    comb pww     --system Portals --size 100 --interval 100000
+    comb offload [--system GM]
+    comb netperf --system GM --mode busywait
+    comb figures [--ids fig08 fig11] [--per-decade 2] [--out results/]
+    comb report  [--per-decade 2]
+
+All sizes are in the paper's KB (KiB); intervals are work-loop iterations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import export_figures, format_report, render, run_all, run_figure
+from .baselines import run_netperf
+from .config import PRESETS, get_system
+from .core import CombSuite, PollingConfig, PwwConfig, run_polling, run_pww
+
+
+def _add_system(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system", default="GM", choices=sorted(PRESETS),
+        help="system preset to simulate",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="comb",
+        description="COMB MPI-overlap benchmark suite on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("polling", help="one polling-method measurement")
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100, help="message size (KB)")
+    p.add_argument("--interval", type=int, default=10_000,
+                   help="poll interval (loop iterations)")
+    p.add_argument("--queue-depth", type=int, default=4)
+
+    p = sub.add_parser("pww", help="one post-work-wait measurement")
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100, help="message size (KB)")
+    p.add_argument("--interval", type=int, default=100_000,
+                   help="work interval (loop iterations)")
+    p.add_argument("--tests-in-work", type=int, default=0,
+                   help="MPI_Test calls inserted early in the work phase")
+
+    p = sub.add_parser("offload", help="application-offload verdict (§4.1)")
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100, help="message size (KB)")
+
+    p = sub.add_parser("netperf", help="netperf-style availability (§5)")
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100, help="message size (KB)")
+    p.add_argument("--mode", default="busywait",
+                   choices=("blocking", "busywait"))
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("--ids", nargs="*", default=None,
+                   help="figure ids (default: all of fig04..fig17)")
+    p.add_argument("--per-decade", type=int, default=2)
+    p.add_argument("--out", default=None,
+                   help="directory for CSV/JSON export")
+    p.add_argument("--no-plots", action="store_true")
+
+    p = sub.add_parser("report", help="full reproduction report with claims")
+    p.add_argument("--per-decade", type=int, default=2)
+
+    p = sub.add_parser(
+        "compare", help="side-by-side system comparison table"
+    )
+    p.add_argument("--systems", nargs="*", default=None,
+                   help="preset names (default: all, plus the offload NIC)")
+    p.add_argument("--size", type=float, default=100,
+                   help="message size (KB)")
+
+    p = sub.add_parser(
+        "scenario", help="run a declarative JSON experiment spec"
+    )
+    p.add_argument("spec", help="path to the scenario JSON document")
+    p.add_argument("--out", default=None,
+                   help="write the full result document as JSON here")
+
+    p = sub.add_parser(
+        "profile",
+        help="kernel-time breakdown of a polling run (per node, by label)",
+    )
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100, help="message size (KB)")
+    p.add_argument("--interval", type=int, default=1_000,
+                   help="poll interval (loop iterations)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "polling":
+        pt = run_polling(get_system(args.system), PollingConfig(
+            msg_bytes=int(args.size * 1024),
+            poll_interval_iters=args.interval,
+            queue_depth=args.queue_depth,
+        ))
+        print(f"{pt.system}: {pt.msg_bytes // 1024} KB, poll interval "
+              f"{pt.poll_interval_iters} iters")
+        print(f"  availability = {pt.availability:.3f}")
+        print(f"  bandwidth    = {pt.bandwidth_MBps:.2f} MB/s")
+        print(f"  messages     = {pt.msgs}, interrupts = {pt.interrupts}")
+        return 0
+
+    if args.command == "pww":
+        pt = run_pww(get_system(args.system), PwwConfig(
+            msg_bytes=int(args.size * 1024),
+            work_interval_iters=args.interval,
+            tests_in_work=args.tests_in_work,
+        ))
+        print(f"{pt.system}: {pt.msg_bytes // 1024} KB, work interval "
+              f"{pt.work_interval_iters} iters")
+        print(f"  availability = {pt.availability:.3f}")
+        print(f"  bandwidth    = {pt.bandwidth_MBps:.2f} MB/s")
+        print(f"  post  = {pt.post_s * 1e6:8.1f} us/batch")
+        print(f"  work  = {pt.work_s * 1e6:8.1f} us/batch "
+              f"(dry {pt.work_dry_s * 1e6:.1f} us)")
+        print(f"  wait  = {pt.wait_s * 1e6:8.1f} us/batch")
+        return 0
+
+    if args.command == "offload":
+        suite = CombSuite(get_system(args.system))
+        print(suite.offload_report(msg_bytes=int(args.size * 1024)))
+        return 0
+
+    if args.command == "netperf":
+        r = run_netperf(get_system(args.system),
+                        msg_bytes=int(args.size * 1024),
+                        wait_mode=args.mode)
+        print(f"{r.system} netperf ({r.wait_mode}): "
+              f"availability={r.availability:.3f}, "
+              f"bandwidth={r.bandwidth_MBps:.2f} MB/s")
+        return 0
+
+    if args.command == "figures":
+        reports = run_all(per_decade=args.per_decade, fig_ids=args.ids)
+        if args.out:
+            paths = export_figures([r.figure for r in reports], args.out)
+            print(f"wrote {len(paths)} files to {args.out}")
+        for rep in reports:
+            if not args.no_plots:
+                print(render(rep.figure))
+            for c in rep.claims:
+                mark = "PASS" if c.ok else "FAIL"
+                print(f"  [{mark}] {c.claim} ({c.detail})")
+        return 0
+
+    if args.command == "compare":
+        from .analysis.tables import format_table, system_comparison
+        from .ext import offload_nic_system
+
+        if args.systems:
+            systems = [get_system(name) for name in args.systems]
+        else:
+            systems = [get_system(n) for n in sorted(PRESETS)]
+            systems.append(offload_nic_system())
+        rows = system_comparison(systems, msg_bytes=int(args.size * 1024))
+        print(format_table(rows))
+        return 0
+
+    if args.command == "scenario":
+        import json as _json
+        from pathlib import Path as _Path
+
+        from .scenario import format_scenario_results, run_scenario
+
+        results = run_scenario(args.spec)
+        print(format_scenario_results(results))
+        if args.out:
+            _Path(args.out).write_text(_json.dumps(results, indent=2))
+            print(f"\nwrote {args.out}")
+        return 0
+
+    if args.command == "profile":
+        import repro.core.polling as polling
+        from .mpi import build_world
+
+        system = get_system(args.system)
+        cfg = PollingConfig(
+            msg_bytes=int(args.size * 1024),
+            poll_interval_iters=args.interval, measure_s=0.03,
+        )
+        world = build_world(system)
+        state = polling._WorkerState()
+        worker = world.engine.spawn(
+            polling._worker(world, cfg, state), name="worker"
+        )
+        world.engine.spawn(polling._support(world, cfg), name="support")
+        world.engine.run(worker)
+        pt = state.result
+        print(f"{pt.system}: bw={pt.bandwidth_MBps:.2f} MB/s, "
+              f"availability={pt.availability:.3f}\n")
+        for node in world.cluster.nodes:
+            role = "worker" if node.node_id == 0 else "support"
+            print(f"[{role}] {node.cpu.profile_report()}")
+            snap = node.cpu.snapshot()
+            el = node.cpu.elapsed()
+            print(f"  shares: user={snap['user_s'] / el:.3f} "
+                  f"kernel={snap['kernel_s'] / el:.3f} "
+                  f"idle={snap['idle_s'] / el:.3f}\n")
+        return 0
+
+    if args.command == "report":
+        reports = run_all(per_decade=args.per_decade)
+        print(format_report(reports))
+        return 0 if all(r.ok for r in reports) else 1
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

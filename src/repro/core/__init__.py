@@ -1,0 +1,38 @@
+"""COMB core: the paper's benchmark suite (polling + post-work-wait)."""
+
+from .polling import COMB_TAG, PollingConfig, run_polling
+from .pww import PwwBatch, PwwConfig, run_pww, run_pww_batches
+from .results import PollingPoint, PwwPoint, Series
+from .suite import (
+    CombSuite,
+    OffloadVerdict,
+    PAPER_SIZES,
+    POLL_GRID,
+    WORK_GRID,
+)
+from .sweep import log_intervals, polling_sweep, pww_sweep
+from .workloop import DRY_RUN_ITERS, dry_run_iter_time, work_time
+
+__all__ = [
+    "COMB_TAG",
+    "CombSuite",
+    "DRY_RUN_ITERS",
+    "OffloadVerdict",
+    "PAPER_SIZES",
+    "POLL_GRID",
+    "PollingConfig",
+    "PollingPoint",
+    "PwwBatch",
+    "PwwConfig",
+    "PwwPoint",
+    "Series",
+    "WORK_GRID",
+    "dry_run_iter_time",
+    "log_intervals",
+    "polling_sweep",
+    "pww_sweep",
+    "run_polling",
+    "run_pww",
+    "run_pww_batches",
+    "work_time",
+]

@@ -1,0 +1,211 @@
+"""The COMB Polling Method (paper §2.1, Figs 1–2).
+
+Two processes on two nodes exchange a queue of messages ping-pong style.
+The *worker* interleaves fixed work intervals with completion polls: after
+every ``poll_interval`` loop iterations it tests its outstanding receives;
+each completed message is answered immediately (reply sent, receive
+re-posted).  The *support* process only does message passing, answering as
+fast as messages arrive.  Because the worker never blocks, the method
+reports an unfettered trade-off between bandwidth and CPU availability as
+the poll interval varies.
+
+Simulation note: runs of *empty* poll cycles (work + negative test) are
+deterministic, so they are aggregated into a single CPU occupation that
+ends — rounded up to the cycle boundary — when the device signals activity.
+This is exact with respect to the method's semantics (a completion is
+always discovered at a poll boundary) and keeps event counts proportional
+to message traffic rather than poll frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..mpi.world import World, build_world
+from ..sim.units import msec
+from .results import PollingPoint
+from .workloop import work_time
+
+#: Message tag used by the benchmark streams.
+COMB_TAG = 11
+
+
+@dataclass
+class PollingConfig:
+    """Parameters of one polling-method measurement."""
+
+    #: Message payload size.
+    msg_bytes: int = 100 * 1024
+    #: Work-loop iterations between completion polls (the method's primary
+    #: variable; the paper sweeps 10^1 … 10^8).
+    poll_interval_iters: int = 10_000
+    #: Messages kept in flight per direction (the paper's message queue;
+    #: depth 1 degenerates to a plain ping-pong test).
+    queue_depth: int = 4
+    #: Minimum simulated warmup before the measurement window opens.
+    warmup_s: float = msec(5)
+    #: Minimum length of the measurement window.
+    measure_s: float = msec(30)
+    #: The window is stretched so it spans at least this many poll cycles
+    #: (matters when the poll interval exceeds ``measure_s``).
+    min_cycles: int = 6
+
+
+class _WorkerState:
+    """Mutable measurement bookkeeping shared with the driver."""
+
+    def __init__(self) -> None:
+        self.result: Optional[PollingPoint] = None
+
+
+def run_polling(system: SystemConfig, cfg: PollingConfig) -> PollingPoint:
+    """Run one polling-method point on a fresh world and return it."""
+    if cfg.poll_interval_iters <= 0:
+        raise ValueError("poll interval must be positive")
+    if cfg.queue_depth < 1:
+        raise ValueError("queue depth must be >= 1")
+    world = build_world(system)
+    state = _WorkerState()
+    worker = world.engine.spawn(
+        _worker(world, cfg, state), name="comb.polling.worker"
+    )
+    world.engine.spawn(_support(world, cfg), name="comb.polling.support")
+    world.engine.run(worker)
+    assert state.result is not None
+    return state.result
+
+
+def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
+    engine = world.engine
+    system = world.system
+    node = world.cluster[0]
+    ctx = node.new_context("comb.worker")
+    h = world.endpoint(0).bind(ctx)
+    dev = h.device
+    cpu = ctx.cpu
+
+    iter_s = system.machine.cpu.work_iter_s
+    p_iters = cfg.poll_interval_iters
+    work_s = p_iters * iter_s
+    # A negative test costs one (empty) progress pass.
+    empty_poll_s = _empty_poll_cost(system)
+    cycle_s = work_s + empty_poll_s
+
+    # ------------------------------------------------------------- pipeline
+    recv_reqs = []
+    for _ in range(cfg.queue_depth):
+        r = yield from h.irecv(src=1, nbytes=cfg.msg_bytes, tag=COMB_TAG)
+        recv_reqs.append(r)
+    for _ in range(cfg.queue_depth):
+        yield from h.isend(1, cfg.msg_bytes, tag=COMB_TAG)
+
+    # ----------------------------------------------------------- main loop
+    iters_done = 0.0
+    polls = 0
+    measuring = False
+    t_start = 0.0
+    iters_start = 0.0
+    polls_start = 0
+    stats_start = None
+    irq_start = 0
+    warmup_end = engine.now + max(cfg.warmup_s, 3 * cycle_s)
+    t_end = float("inf")
+
+    while True:
+        # One work interval then a completion test (Fig 1's inner loop +
+        # poll).  Runs of empty cycles are aggregated below.
+        yield ctx.compute(work_s)
+        iters_done += p_iters
+        done_idx = yield from h.testsome(recv_reqs)
+        polls += 1
+        if done_idx:
+            for i in done_idx:
+                # Answer each arrived message and replace the receive.
+                yield from h.isend(1, cfg.msg_bytes, tag=COMB_TAG)
+                recv_reqs[i] = yield from h.irecv(
+                    src=1, nbytes=cfg.msg_bytes, tag=COMB_TAG
+                )
+        elif not dev.has_work() and not any(r.done for r in recv_reqs):
+            # Nothing to do until the device signals: spin through whole
+            # empty poll cycles, then land exactly on a cycle boundary.
+            # A horizon bounds the spin at the warmup/measurement edge so a
+            # fully stalled pipeline cannot overshoot the window.
+            horizon_at = t_end if measuring else warmup_end
+            remaining = horizon_at - engine.now
+            if remaining > 0:
+                wake = dev.wakeup()
+                stop_ev = engine.any_of([wake, engine.timeout(remaining)])
+                u0 = cpu.context_time(ctx)
+                yield cpu.spin_until(ctx, stop_ev)
+                spun = cpu.context_time(ctx) - u0
+                cycles = math.floor(spun / cycle_s) + 1
+                remainder = cycles * cycle_s - spun
+                if remainder > 0:
+                    yield ctx.compute(remainder)
+                iters_done += cycles * p_iters
+                polls += cycles
+
+        # ------------------------------------------------- window control
+        now = engine.now
+        if not measuring:
+            if now >= warmup_end:
+                measuring = True
+                t_start = now
+                iters_start = iters_done
+                polls_start = polls
+                stats_start = dev.stats.snapshot()
+                irq_start = node.irq.count
+                t_end = t_start + max(cfg.measure_s, cfg.min_cycles * cycle_s)
+        elif now >= t_end:
+            break
+
+    elapsed = engine.now - t_start
+    iters = iters_done - iters_start
+    delta = dev.stats.delta(stats_start)
+    payload = delta.bytes_send_done + delta.bytes_recv_done
+    state.result = PollingPoint(
+        system=system.name,
+        msg_bytes=cfg.msg_bytes,
+        poll_interval_iters=p_iters,
+        availability=work_time(system, iters) / elapsed,
+        bandwidth_Bps=payload / elapsed,
+        elapsed_s=elapsed,
+        iters=iters,
+        polls=polls - polls_start,
+        msgs=delta.msgs_send_done + delta.msgs_recv_done,
+        interrupts=node.irq.count - irq_start,
+    )
+
+
+def _support(world: World, cfg: PollingConfig):
+    """The support process: pure message passing, replies immediately."""
+    ctx = world.cluster[1].new_context("comb.support")
+    h = world.endpoint(1).bind(ctx)
+    recv_reqs = []
+    for _ in range(cfg.queue_depth):
+        r = yield from h.irecv(src=0, nbytes=cfg.msg_bytes, tag=COMB_TAG)
+        recv_reqs.append(r)
+    for _ in range(cfg.queue_depth):
+        yield from h.isend(0, cfg.msg_bytes, tag=COMB_TAG)
+    while True:
+        yield from h.waitany(recv_reqs)
+        for i, r in enumerate(recv_reqs):
+            if r.done:
+                yield from h.isend(0, cfg.msg_bytes, tag=COMB_TAG)
+                recv_reqs[i] = yield from h.irecv(
+                    src=0, nbytes=cfg.msg_bytes, tag=COMB_TAG
+                )
+
+
+def _empty_poll_cost(system: SystemConfig) -> float:
+    """Cost of a negative MPI_Test (one empty progress pass)."""
+    from ..config import TransportKind
+
+    if system.transport is TransportKind.GM:
+        return system.gm.progress_poll_s
+    if system.transport is TransportKind.PORTALS:
+        return system.portals.progress_poll_s
+    return system.tcp.progress_poll_s

@@ -1,0 +1,64 @@
+"""Parameter-sweep drivers for the two COMB methods.
+
+Each point runs on a fresh world, so sweeps are embarrassingly independent
+and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from .polling import PollingConfig, run_polling
+from .pww import PwwConfig, run_pww
+from .results import PollingPoint, PwwPoint, Series
+
+
+def log_intervals(lo: float, hi: float, per_decade: int = 3) -> List[int]:
+    """Log-spaced integer interval values from ``lo`` to ``hi`` inclusive."""
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    n = int(round(np.log10(hi / lo) * per_decade)) + 1
+    vals = np.unique(
+        np.round(np.logspace(np.log10(lo), np.log10(hi), max(n, 2))).astype(int)
+    )
+    return [int(v) for v in vals if v >= 1]
+
+
+def polling_sweep(
+    system: SystemConfig,
+    msg_bytes: int,
+    intervals: Sequence[int],
+    base: Optional[PollingConfig] = None,
+    label: Optional[str] = None,
+) -> Series:
+    """Run the polling method across ``intervals`` for one message size."""
+    base = base or PollingConfig(msg_bytes=msg_bytes)
+    series = Series(label or f"{system.name} {msg_bytes // 1024} KB")
+    for p in intervals:
+        cfg = dataclasses.replace(
+            base, msg_bytes=msg_bytes, poll_interval_iters=int(p)
+        )
+        series.points.append(run_polling(system, cfg))
+    return series
+
+
+def pww_sweep(
+    system: SystemConfig,
+    msg_bytes: int,
+    intervals: Sequence[int],
+    base: Optional[PwwConfig] = None,
+    label: Optional[str] = None,
+) -> Series:
+    """Run the PWW method across work ``intervals`` for one message size."""
+    base = base or PwwConfig(msg_bytes=msg_bytes)
+    series = Series(label or f"{system.name} {msg_bytes // 1024} KB")
+    for w in intervals:
+        cfg = dataclasses.replace(
+            base, msg_bytes=msg_bytes, work_interval_iters=int(w)
+        )
+        series.points.append(run_pww(system, cfg))
+    return series

@@ -1,0 +1,24 @@
+"""Hardware models: CPU, memory, NIC, links, switch, nodes, clusters."""
+
+from .cluster import Cluster
+from .cpu import CPU, CpuContext
+from .link import Link
+from .memory import COPY_SETUP_S, copy_time
+from .nic import NIC, SendJob, NIC_TX_BUFFER_PKTS
+from .node import Node
+from .switch import PortFullError, Switch
+
+__all__ = [
+    "CPU",
+    "COPY_SETUP_S",
+    "Cluster",
+    "CpuContext",
+    "Link",
+    "NIC",
+    "NIC_TX_BUFFER_PKTS",
+    "Node",
+    "PortFullError",
+    "SendJob",
+    "Switch",
+    "copy_time",
+]

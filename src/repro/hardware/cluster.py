@@ -1,0 +1,59 @@
+"""Cluster builder: nodes wired through the switch."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..sim.trace import Tracer
+from .node import Node
+from .switch import Switch
+
+
+class Cluster:
+    """A set of :class:`Node`\\ s connected by one cut-through switch.
+
+    This is hardware only; transports and MPI endpoints are layered on by
+    :func:`repro.mpi.world.build_world`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        system: SystemConfig,
+        n_nodes: int = 2,
+        tracer: Optional[Tracer] = None,
+    ):
+        if n_nodes < 2:
+            raise ValueError("a cluster needs at least two nodes")
+        if n_nodes > system.machine.switch.ports:
+            raise ValueError(
+                f"{n_nodes} nodes exceed the switch's "
+                f"{system.machine.switch.ports} ports"
+            )
+        self.engine = engine
+        self.system = system
+        self.tracer = tracer
+        self.rng = RngRegistry(system.seed)
+        self.switch = Switch(
+            engine, system.machine.switch, system.machine.nic, tracer=tracer
+        )
+        self.nodes: List[Node] = []
+        loss = system.machine.fault.data_loss_rate
+        for nid in range(n_nodes):
+            node = Node(engine, system, nid, tracer=tracer)
+            node.nic.uplink = self.switch.ingress
+            self.switch.attach(nid, node.nic.deliver)
+            if loss > 0.0:
+                self.switch._out[nid].set_loss(
+                    loss, self.rng.stream(f"loss.link{nid}")
+                )
+            self.nodes.append(node)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, idx: int) -> Node:
+        return self.nodes[idx]

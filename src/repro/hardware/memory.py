@@ -1,0 +1,26 @@
+"""Memory-copy cost model.
+
+Copies are charged to whichever execution context performs them (kernel
+handler or user-level library); this module only computes their durations.
+A tiny fixed setup covers function-call and cache-warm costs.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import usec
+
+#: Fixed per-copy overhead (call, alignment handling).
+COPY_SETUP_S = usec(0.2)
+
+
+def copy_time(nbytes: int, bandwidth_Bps: float, setup_s: float = COPY_SETUP_S) -> float:
+    """Seconds of CPU time to copy ``nbytes`` at ``bandwidth_Bps``.
+
+    Zero-byte copies still pay the fixed setup (matching real memcpy call
+    overhead); negative sizes are rejected.
+    """
+    if nbytes < 0:
+        raise ValueError("negative copy size")
+    if bandwidth_Bps <= 0:
+        raise ValueError("copy bandwidth must be positive")
+    return setup_s + nbytes / bandwidth_Bps

@@ -1,0 +1,186 @@
+"""Network-interface model (Myrinet LANai-class).
+
+The NIC owns:
+
+* the **host bus** — one DMA pipe shared by transmit and receive (the
+  32/33 PCI bus of the era), which is what actually bounds aggregate MPI
+  bandwidth;
+* a **transmit engine** — streams packetized send jobs: DMA from host
+  memory, then serialization onto the uplink, with bounded on-NIC buffering
+  (wire credits) and a priority lane for small control packets;
+* the **receive path** — inbound DATA packets are DMA'd to host memory
+  (user buffer, bounce buffer or kernel ring — the transport decides what
+  that memory *means*), then handed to the transport's ``rx_handler``;
+  control packets skip the bus.
+
+The NIC itself never touches the host CPU: interrupts, if any, are raised
+by the transport from ``rx_handler``.  That separation is exactly the
+OS-bypass vs. kernel-transport distinction COMB probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..config import NicConfig
+from ..sim.engine import Engine
+from ..sim.events import Event
+from ..sim.resources import Pipe, Store
+from ..transport.packets import Packet, PacketKind
+
+#: Maximum packets buffered on the NIC between host DMA and the wire.
+NIC_TX_BUFFER_PKTS = 8
+
+
+class SendJob:
+    """A packetized transmit request.
+
+    Parameters
+    ----------
+    packets:
+        Wire packets, in order.
+    on_packet_out:
+        Called after each packet has been DMA'd off host memory.
+    on_done:
+        Called once the *last* packet has left host memory (MPI local
+        completion: the send buffer is reusable).
+    urgent:
+        Control-lane jobs (RTS/CTS/ACK) that jump ahead of bulk data.
+    """
+
+    __slots__ = ("packets", "on_packet_out", "on_done", "urgent")
+
+    def __init__(
+        self,
+        packets: List[Packet],
+        on_packet_out: Optional[Callable[[Packet], None]] = None,
+        on_done: Optional[Callable[[], None]] = None,
+        urgent: bool = False,
+    ):
+        if not packets:
+            raise ValueError("SendJob needs at least one packet")
+        self.packets = packets
+        self.on_packet_out = on_packet_out
+        self.on_done = on_done
+        self.urgent = urgent
+
+
+class NIC:
+    """One node's network interface."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: NicConfig,
+        node_id: int,
+        name: str = "",
+        tracer=None,
+    ):
+        self.engine = engine
+        self.config = config
+        self.node_id = node_id
+        self.name = name or f"node{node_id}.nic"
+        self.tracer = tracer
+        #: Shared host DMA pipe (PCI): transmit and receive contend here.
+        self.host_bus = Pipe(
+            engine,
+            bandwidth_Bps=config.host_dma_bandwidth_Bps,
+            setup_s=config.dma_setup_s,
+            name=f"{self.name}.bus",
+        )
+        #: Uplink towards the switch; set by the cluster builder.
+        self.uplink: Optional[Callable[[Packet], None]] = None
+        #: Inbound packet handler; set by the transport.
+        self.rx_handler: Optional[Callable[[Packet], None]] = None
+        self._bulk: Deque[SendJob] = deque()
+        self._urgent: Deque[SendJob] = deque()
+        self._job_ready = Store(engine, name=f"{self.name}.txq")
+        self._credits = NIC_TX_BUFFER_PKTS
+        self._credit_waiters: Deque[Event] = deque()
+        self.tx_packets = 0
+        self.rx_packets = 0
+        engine.spawn(self._tx_loop(), name=f"{self.name}.tx")
+
+    # -------------------------------------------------------------- transmit
+    def submit(self, job: SendJob) -> None:
+        """Queue a send job (urgent jobs preempt bulk jobs between packets)."""
+        if job.urgent:
+            self._urgent.append(job)
+        else:
+            self._bulk.append(job)
+        self._job_ready.put(None)
+
+    def _next_job(self) -> Optional[SendJob]:
+        if self._urgent:
+            return self._urgent.popleft()
+        if self._bulk:
+            return self._bulk.popleft()
+        return None
+
+    def _tx_loop(self):
+        cfg = self.config
+        while True:
+            yield self._job_ready.get()
+            job = self._next_job()
+            if job is None:  # token raced with an earlier drain
+                continue
+            for pkt in job.packets:
+                if pkt.kind is PacketKind.DATA:
+                    yield self.host_bus.transfer(pkt.wire_bytes(cfg.header_bytes))
+                else:
+                    # Control descriptors live on the NIC; fixed setup only.
+                    yield self.engine.timeout(cfg.dma_setup_s)
+                if job.on_packet_out is not None:
+                    job.on_packet_out(pkt)
+                yield self._take_credit()
+                self.tx_packets += 1
+                if self.tracer is not None:
+                    self.tracer.record(self.engine.now, self.name, "packet_tx",
+                                       (pkt.kind.value, pkt.msg_id, pkt.index))
+                self.engine.schedule_callback(
+                    cfg.nic_processing_s, lambda p=pkt: self._emit(p)
+                )
+                # Between packets of a bulk job, let urgent jobs cut in.
+                if not job.urgent and self._urgent and pkt is not job.packets[-1]:
+                    pass  # handled naturally: urgent jobs are separate jobs
+            if job.on_done is not None:
+                job.on_done()
+
+    def _emit(self, pkt: Packet) -> None:
+        if self.uplink is None:
+            raise RuntimeError(f"{self.name}: not wired to a switch")
+        self.uplink(pkt)
+        self._return_credit()
+
+    def _take_credit(self) -> Event:
+        ev = Event(self.engine)
+        if self._credits > 0:
+            self._credits -= 1
+            ev.succeed()
+        else:
+            self._credit_waiters.append(ev)
+        return ev
+
+    def _return_credit(self) -> None:
+        if self._credit_waiters:
+            self._credit_waiters.popleft().succeed()
+        else:
+            self._credits += 1
+
+    # --------------------------------------------------------------- receive
+    def deliver(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the switch."""
+        self.rx_packets += 1
+        if self.rx_handler is None:
+            raise RuntimeError(f"{self.name}: no transport attached")
+        if packet.kind is PacketKind.DATA:
+            ev = self.host_bus.transfer(
+                packet.wire_bytes(self.config.header_bytes), packet
+            )
+            ev.callbacks.append(lambda e: self.rx_handler(e.value))
+        else:
+            self.engine.schedule_callback(
+                self.config.nic_processing_s,
+                lambda p=packet: self.rx_handler(p),
+            )

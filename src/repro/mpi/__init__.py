@@ -1,0 +1,38 @@
+"""MPI subset: requests, matching, endpoints, collectives, world building."""
+
+from .api import ANY_SOURCE, ANY_TAG, Endpoint, MpiHandle
+from .status import Status
+from .matching import Admission, PostedQueue, UnexpectedQueue, envelopes_match
+from .request import Request, RequestKind
+from .collectives import (
+    allreduce,
+    alltoall,
+    barrier_all,
+    bcast,
+    gather,
+    reduce,
+)
+from .world import World, build_world, make_device
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Admission",
+    "allreduce",
+    "alltoall",
+    "barrier_all",
+    "bcast",
+    "gather",
+    "reduce",
+    "Endpoint",
+    "MpiHandle",
+    "PostedQueue",
+    "Request",
+    "Status",
+    "RequestKind",
+    "UnexpectedQueue",
+    "World",
+    "build_world",
+    "envelopes_match",
+    "make_device",
+]

@@ -1,0 +1,153 @@
+"""Collective operations over the point-to-point subset.
+
+The paper's testbed is two nodes, but its future work (§7: "benchmark
+several of the DOE ASCI machines") implies scale; the simulator's switch
+takes up to eight.  These collectives are the classic log-P algorithms
+MPICH used in the era, built purely on ``isend``/``irecv`` so every byte
+still flows through the modelled transports:
+
+* ``bcast`` — binomial tree;
+* ``reduce`` / ``allreduce`` — binomial reduce (+ broadcast);
+* ``gather`` — direct to root;
+* ``alltoall`` — pairwise exchange (maximally stresses the switch's
+  output-port serialization);
+* ``barrier_all`` — dissemination barrier.
+
+Payloads are sizes, not values (the simulator moves bytes, not data), so
+"reduce" models the communication pattern plus a configurable per-byte
+combine cost on the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.units import mbps
+from .api import MpiHandle
+
+#: Tag space reserved for collectives (one tag per operation round).
+_COLL_TAG_BASE = 1 << 20
+
+#: CPU combine rate for reductions (bytes/second) — a P6-era vector sum.
+REDUCE_COMBINE_BANDWIDTH_BPS = mbps(400)
+
+
+def _tree_children(rank: int, root: int, size: int) -> List[int]:
+    """Children of ``rank`` in a binomial tree rooted at ``root``."""
+    vrank = (rank - root) % size
+    children = []
+    mask = 1
+    while mask < size:
+        if vrank & (mask - 1) == 0 and vrank | mask != vrank:
+            child = vrank | mask
+            if child < size:
+                children.append((child + root) % size)
+        mask <<= 1
+    return children
+
+
+def _tree_parent(rank: int, root: int, size: int) -> Optional[int]:
+    """Parent of ``rank`` in the binomial tree, ``None`` for the root."""
+    vrank = (rank - root) % size
+    if vrank == 0:
+        return None
+    # Clear the lowest set bit.
+    parent_v = vrank & (vrank - 1)
+    return (parent_v + root) % size
+
+
+def bcast(h: MpiHandle, nbytes: int, root: int = 0, tag: int = _COLL_TAG_BASE):
+    """Binomial-tree broadcast of ``nbytes`` from ``root``.
+
+    Children are served largest-subtree first (reversed order): each send
+    serializes on the sender's NIC, so the deepest subtree must get the
+    data earliest for the log-P critical path to hold.
+    """
+    size = h.endpoint.world_size
+    parent = _tree_parent(h.rank, root, size)
+    if parent is not None:
+        yield from h.recv(parent, nbytes, tag)
+    for child in reversed(_tree_children(h.rank, root, size)):
+        yield from h.send(child, nbytes, tag)
+
+
+def reduce(
+    h: MpiHandle,
+    nbytes: int,
+    root: int = 0,
+    tag: int = _COLL_TAG_BASE + 1,
+    combine_Bps: float = REDUCE_COMBINE_BANDWIDTH_BPS,
+):
+    """Binomial-tree reduction of ``nbytes`` to ``root``.
+
+    Each received contribution costs a CPU combine pass over the buffer.
+    """
+    size = h.endpoint.world_size
+    children = _tree_children(h.rank, root, size)
+    # Receive deepest-first (reverse of send order in bcast).
+    for child in reversed(children):
+        yield from h.recv(child, nbytes, tag)
+        yield h.ctx.compute(nbytes / combine_Bps)
+    parent = _tree_parent(h.rank, root, size)
+    if parent is not None:
+        yield from h.send(parent, nbytes, tag)
+
+
+def allreduce(
+    h: MpiHandle,
+    nbytes: int,
+    tag: int = _COLL_TAG_BASE + 2,
+    combine_Bps: float = REDUCE_COMBINE_BANDWIDTH_BPS,
+):
+    """Reduce-to-0 then broadcast (the era's MPICH default)."""
+    yield from reduce(h, nbytes, root=0, tag=tag, combine_Bps=combine_Bps)
+    yield from bcast(h, nbytes, root=0, tag=tag + 1)
+
+
+def gather(h: MpiHandle, nbytes: int, root: int = 0,
+           tag: int = _COLL_TAG_BASE + 4):
+    """Direct gather: every rank sends ``nbytes`` to ``root``."""
+    size = h.endpoint.world_size
+    if h.rank == root:
+        reqs = []
+        for src in range(size):
+            if src == root:
+                continue
+            r = yield from h.irecv(src, nbytes, tag)
+            reqs.append(r)
+        yield from h.waitall(reqs)
+    else:
+        yield from h.send(root, nbytes, tag)
+
+
+def alltoall(h: MpiHandle, nbytes: int, tag: int = _COLL_TAG_BASE + 5):
+    """Pairwise all-to-all: ``size - 1`` exchange rounds.
+
+    Round ``r`` pairs each rank with ``rank XOR-free partner
+    (rank + r) % size`` — every output port of the switch carries traffic
+    in every round.
+    """
+    size = h.endpoint.world_size
+    reqs = []
+    for r in range(1, size):
+        dst = (h.rank + r) % size
+        src = (h.rank - r) % size
+        rr = yield from h.irecv(src, nbytes, tag + r)
+        sr = yield from h.isend(dst, nbytes, tag + r)
+        reqs.extend((rr, sr))
+    yield from h.waitall(reqs)
+
+
+def barrier_all(h: MpiHandle, tag: int = _COLL_TAG_BASE + 100):
+    """Dissemination barrier (log2 rounds, any world size)."""
+    size = h.endpoint.world_size
+    round_no = 0
+    dist = 1
+    while dist < size:
+        dst = (h.rank + dist) % size
+        src = (h.rank - dist) % size
+        rr = yield from h.irecv(src, 0, tag + round_no)
+        sr = yield from h.isend(dst, 0, tag + round_no)
+        yield from h.waitall([rr, sr])
+        dist <<= 1
+        round_no += 1

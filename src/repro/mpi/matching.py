@@ -1,0 +1,136 @@
+"""Envelope matching: posted-receive and unexpected-message queues.
+
+The same matching logic runs in two very different places depending on the
+transport — inside the MPI library's progress pass (GM) or inside the
+kernel's packet handler (Portals) — so it lives here, context-free.
+
+MPI's *non-overtaking* rule requires that messages from the same source be
+matchable in the order they were sent.  Packets can physically overtake on
+our NICs (control packets use a priority lane), so an :class:`Admission`
+stage re-orders arrival records by the sender's sequence number before
+matching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..transport.packets import Envelope
+
+#: Wildcard source for receives (``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+
+def envelopes_match(want_src: int, want_tag: int, env: Envelope) -> bool:
+    """Does a posted receive (``want_src``, ``want_tag``) accept ``env``?"""
+    return (want_src in (ANY_SOURCE, env.src_rank)) and (
+        want_tag in (ANY_TAG, env.tag)
+    )
+
+
+class PostedQueue:
+    """Receives posted and not yet matched, in post order."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[int, int, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def post(self, src: int, tag: int, handle: Any) -> None:
+        """Append a posted receive."""
+        self._entries.append((src, tag, handle))
+
+    def match(self, env: Envelope) -> Optional[Any]:
+        """Pop and return the first posted receive accepting ``env``."""
+        for i, (src, tag, handle) in enumerate(self._entries):
+            if envelopes_match(src, tag, env):
+                del self._entries[i]
+                return handle
+        return None
+
+    def remove(self, handle: Any) -> bool:
+        """Withdraw a posted receive (``MPI_Cancel``); True if found."""
+        for i, (_src, _tag, h) in enumerate(self._entries):
+            if h is handle:
+                del self._entries[i]
+                return True
+        return False
+
+    def snapshot(self) -> List[Tuple[int, int, Any]]:
+        """Copy of the queue, oldest first (for tests/diagnostics)."""
+        return list(self._entries)
+
+
+class UnexpectedQueue:
+    """Messages that arrived before a matching receive was posted."""
+
+    def __init__(self) -> None:
+        self._records: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: Any) -> None:
+        """Append an arrival record (records expose ``.envelope``)."""
+        self._records.append(record)
+
+    def match(self, src: int, tag: int) -> Optional[Any]:
+        """Pop and return the oldest record a receive (src, tag) accepts."""
+        for i, rec in enumerate(self._records):
+            if envelopes_match(src, tag, rec.envelope):
+                del self._records[i]
+                return rec
+        return None
+
+    def peek(self, src: int, tag: int) -> Optional[Any]:
+        """Like :meth:`match` but without consuming (``MPI_Probe``)."""
+        for rec in self._records:
+            if envelopes_match(src, tag, rec.envelope):
+                return rec
+        return None
+
+    def snapshot(self) -> List[Any]:
+        """Copy of the queue, oldest first."""
+        return list(self._records)
+
+
+class Admission:
+    """Re-orders per-source arrival records into send order.
+
+    ``offer`` either admits the record immediately (calling ``sink``) —
+    possibly unblocking stashed successors — or stashes it until its
+    predecessors arrive.
+    """
+
+    def __init__(self, sink: Callable[[Any], None]):
+        self._sink = sink
+        self._expected: Dict[int, int] = {}
+        self._stash: Dict[int, Dict[int, Any]] = {}
+
+    def offer(self, record: Any) -> None:
+        """Submit a record whose ``.envelope.seq`` orders it per source."""
+        env: Envelope = record.envelope
+        src = env.src_rank
+        expected = self._expected.get(src, 0)
+        if env.seq == expected:
+            self._sink(record)
+            expected += 1
+            stash = self._stash.get(src)
+            while stash and expected in stash:
+                self._sink(stash.pop(expected))
+                expected += 1
+            self._expected[src] = expected
+        elif env.seq > expected:
+            self._stash.setdefault(src, {})[env.seq] = record
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"duplicate arrival seq {env.seq} from rank {src}"
+            )
+
+    @property
+    def stashed(self) -> int:
+        """Number of records waiting for predecessors."""
+        return sum(len(s) for s in self._stash.values())

@@ -1,0 +1,116 @@
+"""MPI request objects.
+
+A :class:`Request` is the handle returned by ``isend``/``irecv``.  Its
+lifecycle is: *pending* → *complete*.  Who flips it to complete is the whole
+point of COMB: the MPI library during a progress pass (GM-style,
+``ProgressModel.LIBRARY_POLLED``) or the kernel independently of the
+application (Portals-style, ``ProgressModel.OFFLOADED``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Optional
+
+from ..sim.engine import Engine
+from ..sim.events import Event
+
+
+class RequestKind(Enum):
+    """Send or receive side of a point-to-point operation."""
+
+    SEND = "send"
+    RECV = "recv"
+
+
+_req_ids = itertools.count(1)
+
+
+class Request:
+    """A non-blocking operation handle.
+
+    Attributes
+    ----------
+    kind, peer, tag, nbytes:
+        The operation's envelope (``peer`` is the destination for sends and
+        the — possibly wildcard — source for receives).
+    done:
+        ``True`` once the operation is locally complete.
+    completion_time:
+        Simulation time at which completion was marked.
+    posted_time:
+        Simulation time at which the operation was posted.
+    """
+
+    __slots__ = (
+        "engine", "kind", "peer", "tag", "nbytes", "req_id", "msg_id",
+        "done", "completion_time", "posted_time", "_event", "_device",
+        "match_src", "match_tag",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        kind: RequestKind,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        device=None,
+    ):
+        self.engine = engine
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.req_id = next(_req_ids)
+        #: Wire-level message id (sends: assigned at post; receives: the
+        #: matched message's id once known).
+        self.msg_id: Optional[int] = None
+        self.done = False
+        self.completion_time: Optional[float] = None
+        self.posted_time: float = engine.now
+        self._event: Optional[Event] = None
+        self._device = device
+        #: For receives: actual source/tag after matching (resolves
+        #: wildcards); ``None`` until complete.
+        self.match_src: Optional[int] = None
+        self.match_tag: Optional[int] = None
+
+    def complete(self, src: Optional[int] = None, tag: Optional[int] = None) -> None:
+        """Mark locally complete; fires the completion event and the owning
+        device's wakeup signal."""
+        if self.done:
+            raise RuntimeError(f"request {self.req_id} completed twice")
+        self.done = True
+        self.completion_time = self.engine.now
+        if src is not None:
+            self.match_src = src
+        if tag is not None:
+            self.match_tag = tag
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed(self)
+        if self._device is not None:
+            self._device.record_completion(self)
+
+    @property
+    def status(self):
+        """:class:`~repro.mpi.status.Status` of a completed request."""
+        from .status import Status
+
+        return Status.from_request(self)
+
+    def completion_event(self) -> Event:
+        """Event fired at completion (already-triggered if done)."""
+        if self._event is None:
+            self._event = Event(self.engine)
+            if self.done:
+                self._event.succeed(self)
+        return self._event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return (
+            f"<Request #{self.req_id} {self.kind.value} peer={self.peer} "
+            f"tag={self.tag} {self.nbytes}B {state}>"
+        )

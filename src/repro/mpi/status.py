@@ -1,0 +1,32 @@
+"""MPI status objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .request import Request
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive (``MPI_Status``).
+
+    ``source`` and ``tag`` are the *matched* values (wildcards resolved);
+    ``nbytes`` is the message size.
+    """
+
+    source: int
+    tag: int
+    nbytes: int
+
+    @classmethod
+    def from_request(cls, req: Request) -> "Status":
+        """Build from a completed request."""
+        if not req.done:
+            raise ValueError("request has not completed")
+        return cls(
+            source=req.match_src if req.match_src is not None else req.peer,
+            tag=req.match_tag if req.match_tag is not None else req.tag,
+            nbytes=req.nbytes,
+        )

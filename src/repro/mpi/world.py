@@ -1,0 +1,82 @@
+"""World builder: hardware + transports + MPI endpoints, ready to run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import SystemConfig, TransportKind
+from ..hardware.cluster import Cluster
+from ..sim.engine import Engine
+from ..sim.trace import Tracer
+from ..transport.base import Device
+from ..transport.gm import GmDevice
+from ..transport.portals import PortalsDevice, TcpDevice
+from .api import Endpoint
+
+_DEVICE_CLASSES = {
+    TransportKind.GM: GmDevice,
+    TransportKind.PORTALS: PortalsDevice,
+    TransportKind.TCP: TcpDevice,
+}
+
+#: Custom device classes keyed by ``SystemConfig.name`` — lets extensions
+#: (e.g. :mod:`repro.ext.whatif`) run the unmodified benchmark drivers on
+#: transports beyond the built-in three.
+CUSTOM_DEVICES: dict = {}
+
+
+def register_device(system_name: str, device_cls) -> None:
+    """Route worlds built for ``system_name`` to ``device_cls``."""
+    CUSTOM_DEVICES[system_name] = device_cls
+
+
+def make_device(engine: Engine, node, rank: int, system: SystemConfig) -> Device:
+    """Instantiate the device class for ``system`` (custom name wins)."""
+    cls = CUSTOM_DEVICES.get(system.name)
+    if cls is None:
+        try:
+            cls = _DEVICE_CLASSES[system.transport]
+        except KeyError:  # pragma: no cover - enum covers all kinds
+            raise ValueError(f"unknown transport {system.transport}") from None
+    return cls(engine, node, rank, system)
+
+
+@dataclass
+class World:
+    """A built simulation: engine, hardware, and one endpoint per node."""
+
+    engine: Engine
+    system: SystemConfig
+    cluster: Cluster
+    endpoints: List[Endpoint]
+    tracer: Optional[Tracer] = None
+
+    def endpoint(self, rank: int) -> Endpoint:
+        """The endpoint for ``rank``."""
+        return self.endpoints[rank]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.endpoints)
+
+
+def build_world(
+    system: SystemConfig,
+    n_nodes: int = 2,
+    tracer: Optional[Tracer] = None,
+) -> World:
+    """Build a fresh deterministic world: rank *i* lives on node *i*."""
+    engine = Engine(trace=tracer)
+    cluster = Cluster(engine, system, n_nodes=n_nodes, tracer=tracer)
+    devices = [
+        make_device(engine, cluster[i], i, system) for i in range(n_nodes)
+    ]
+    routes = {rank: rank for rank in range(n_nodes)}
+    for dev in devices:
+        dev.routes = dict(routes)
+    endpoints = [
+        Endpoint(engine, dev, rank, n_nodes) for rank, dev in enumerate(devices)
+    ]
+    return World(engine, system, cluster, endpoints, tracer)

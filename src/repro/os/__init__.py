@@ -1,0 +1,5 @@
+"""Operating-system substrate: interrupt delivery and kernel services."""
+
+from .interrupts import InterruptController
+
+__all__ = ["InterruptController"]

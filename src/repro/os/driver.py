@@ -1,0 +1,156 @@
+"""Go-back-N reliability state machines (the kernel driver's brain).
+
+The paper's Portals path runs over a Linux kernel module that "provides
+reliability and flow control for Myrinet packets" (§3).  These classes are
+that module's protocol core, kept free of simulation machinery so they can
+be unit-tested exhaustively; :class:`repro.transport.portals.PortalsDevice`
+wires them to the NIC, the interrupt controller and the retransmit timers.
+
+Protocol summary (classic go-back-N):
+
+* every DATA packet of a flow (sender node → receiver node) carries a
+  sequence number;
+* the receiver delivers only the in-order packet, re-acking on duplicates
+  and on gaps (cumulative acks: "everything ≤ `cum` received");
+* the sender keeps ≤ ``window`` packets unacknowledged; duplicate acks or
+  a retransmission timeout trigger retransmission of the whole window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class RxDecision:
+    """Receiver-side verdict for one arriving data packet."""
+
+    #: Deliver the payload up the stack?
+    deliver: bool
+    #: Emit an ack now?  (``cum`` is valid when True.)
+    send_ack: bool
+    #: Cumulative sequence acknowledged.
+    cum: int = -1
+    #: Classification, for stats: "in_order" | "duplicate" | "gap".
+    kind: str = "in_order"
+
+
+class GoBackNRx:
+    """Receiver half of one flow."""
+
+    def __init__(self, ack_every: int):
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self.ack_every = ack_every
+        self.expected = 0
+        self._since_ack = 0
+        #: Counters: delivered / duplicate / gap packets seen.
+        self.delivered = 0
+        self.duplicates = 0
+        self.gaps = 0
+
+    def on_data(self, seq: int, force_ack: bool = False) -> RxDecision:
+        """Classify packet ``seq``; ``force_ack`` for end-of-message."""
+        if seq == self.expected:
+            self.expected += 1
+            self.delivered += 1
+            self._since_ack += 1
+            if self._since_ack >= self.ack_every or force_ack:
+                self._since_ack = 0
+                return RxDecision(True, True, self.expected - 1, "in_order")
+            return RxDecision(True, False, kind="in_order")
+        if seq < self.expected:
+            # Duplicate (a retransmission overshoot): re-ack so the sender
+            # advances.
+            self.duplicates += 1
+            self._since_ack = 0
+            return RxDecision(False, True, self.expected - 1, "duplicate")
+        # Gap: a predecessor was lost; drop and send a duplicate ack.
+        self.gaps += 1
+        self._since_ack = 0
+        return RxDecision(False, True, self.expected - 1, "gap")
+
+
+class GoBackNTx:
+    """Sender half of one flow.
+
+    The caller owns actual (re)transmission and timers; this object tracks
+    the window and tells the caller what to do.
+    """
+
+    def __init__(self, window: int, dup_ack_threshold: int = 2):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.dup_ack_threshold = dup_ack_threshold
+        self.next_seq = 0
+        self.base = 0
+        self._buffer: Dict[int, object] = {}
+        self._dup_acks = 0
+        #: Counters.
+        self.retransmissions = 0
+        self.acked = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged packets."""
+        return self.next_seq - self.base
+
+    @property
+    def can_send(self) -> bool:
+        """Is there window room for one more packet?"""
+        return self.in_flight < self.window
+
+    @property
+    def has_unacked(self) -> bool:
+        """Anything outstanding (drives the retransmit timer)."""
+        return self.base < self.next_seq
+
+    # ------------------------------------------------------------- actions
+    def register(self, payload: object) -> int:
+        """Admit one packet into the window; returns its sequence number.
+
+        Caller must have checked :attr:`can_send`.
+        """
+        if not self.can_send:
+            raise RuntimeError("go-back-N window overflow")
+        seq = self.next_seq
+        self._buffer[seq] = payload
+        self.next_seq += 1
+        return seq
+
+    def on_ack(self, cum: int) -> Tuple[int, List[object]]:
+        """Process a cumulative ack.
+
+        Returns ``(released, retransmit)``: how many window slots opened,
+        and the payloads to retransmit *now* (non-empty when enough
+        duplicate acks accumulated).
+        """
+        if cum >= self.base:
+            released = cum + 1 - self.base
+            for seq in range(self.base, cum + 1):
+                self._buffer.pop(seq, None)
+            self.base = cum + 1
+            self.acked += released
+            self._dup_acks = 0
+            return released, []
+        # Duplicate ack: the receiver is stuck at `cum + 1`.
+        self._dup_acks += 1
+        if self._dup_acks >= self.dup_ack_threshold and self.has_unacked:
+            self._dup_acks = 0
+            return 0, self.window_payloads()
+        return 0, []
+
+    def on_timeout(self) -> List[object]:
+        """Retransmission timer fired: resend the outstanding window."""
+        if not self.has_unacked:
+            return []
+        return self.window_payloads()
+
+    def window_payloads(self) -> List[object]:
+        """Outstanding payloads in sequence order (marks a retransmission)."""
+        self.retransmissions += 1
+        return [self._buffer[s] for s in range(self.base, self.next_seq)
+                if s in self._buffer]

@@ -1,0 +1,55 @@
+"""Interrupt controller: delivers device interrupts to the host CPU.
+
+Each interrupt costs trap entry + handler body + trap exit on the CPU,
+preempting user work.  Optional coalescing models NIC interrupt mitigation:
+when the CPU is already executing (or has queued) kernel work, a freshly
+raised interrupt skips the entry/exit cost — it is picked up by the running
+dispatch loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import InterruptConfig
+from ..hardware.cpu import CPU
+from ..sim.events import Event
+
+
+class InterruptController:
+    """Routes device interrupts onto a :class:`~repro.hardware.cpu.CPU`."""
+
+    def __init__(self, cpu: CPU, config: InterruptConfig, name: str = "irq"):
+        self.cpu = cpu
+        self.config = config
+        self.name = name
+        #: Total interrupts raised.
+        self.count = 0
+        #: Interrupts that were coalesced (no entry/exit charged).
+        self.coalesced = 0
+        #: Total CPU seconds charged to interrupt handling.
+        self.time_charged_s = 0.0
+
+    def raise_irq(
+        self,
+        handler_cost_s: float,
+        fn: Optional[Callable[[], None]] = None,
+        label: str = "",
+    ) -> Event:
+        """Deliver an interrupt whose handler body costs ``handler_cost_s``.
+
+        Returns the event fired when the handler (including ``fn``)
+        completes.
+        """
+        self.count += 1
+        cost = handler_cost_s
+        coalesce = (
+            self.config.coalesce_window_s > 0.0
+            and (self.cpu.in_kernel or self.cpu._kernel_queue)
+        )
+        if coalesce:
+            self.coalesced += 1
+        else:
+            cost += self.config.entry_s + self.config.exit_s
+        self.time_charged_s += cost
+        return self.cpu.kernel_work(cost, fn, label=label or f"{self.name}.irq")

@@ -1,0 +1,204 @@
+"""Scenario runner: declarative experiment specs.
+
+A *scenario* is a JSON document naming systems (presets plus dotted
+parameter overrides) and experiments to run on each.  It makes a study
+reproducible as data instead of a script::
+
+    {
+      "name": "window-study",
+      "systems": [
+        {"preset": "Portals"},
+        {"preset": "Portals", "label": "Portals/w8",
+         "overrides": {"portals.tx_window_pkts": 8}}
+      ],
+      "experiments": [
+        {"kind": "polling", "msg_kb": 100, "intervals": [1000, 100000]},
+        {"kind": "offload", "msg_kb": 100}
+      ]
+    }
+
+Run with ``comb scenario spec.json`` or :func:`run_scenario`.
+
+Supported experiment kinds: ``polling`` (sweep over ``intervals``),
+``pww`` (same), ``offload``, ``netperf`` (``mode``), ``pingpong``
+(``sizes_kb``).  Extra per-point options go under ``config`` and feed the
+corresponding Config dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .baselines import run_netperf, run_pingpong
+from .config import PRESETS, SystemConfig, get_system
+from .core import CombSuite, PollingConfig, PwwConfig, run_polling, run_pww
+
+KB = 1024
+
+
+class ScenarioError(ValueError):
+    """Malformed scenario document."""
+
+
+def _ext_presets() -> Dict[str, Callable[[], SystemConfig]]:
+    from .ext import coalesced_portals, emp_system, offload_nic_system
+
+    return {
+        "EMP": emp_system,
+        "OffloadNIC": offload_nic_system,
+        "Portals+coalesce": coalesced_portals,
+    }
+
+
+def resolve_preset(name: str) -> SystemConfig:
+    """Look up a preset across the core and extension registries."""
+    for key, factory in _ext_presets().items():
+        if key.lower() == name.lower():
+            return factory()
+    try:
+        return get_system(name)
+    except KeyError:
+        known = sorted(PRESETS) + sorted(_ext_presets())
+        raise ScenarioError(
+            f"unknown preset {name!r}; known: {known}"
+        ) from None
+
+
+def apply_overrides(system: SystemConfig, overrides: Dict[str, Any]) -> SystemConfig:
+    """Apply dotted-path overrides (``"portals.tx_window_pkts": 8``)."""
+    for path, value in overrides.items():
+        parts = path.split(".")
+        system = _replace_path(system, parts, value)
+    return system
+
+
+def _replace_path(obj, parts: List[str], value):
+    field = parts[0]
+    if not hasattr(obj, field):
+        raise ScenarioError(
+            f"{type(obj).__name__} has no field {field!r}"
+        )
+    if len(parts) == 1:
+        current = getattr(obj, field)
+        if current is not None and not isinstance(value, type(current)) \
+                and not (isinstance(current, float) and isinstance(value, (int, float))):
+            raise ScenarioError(
+                f"override {field!r}: expected {type(current).__name__}, "
+                f"got {type(value).__name__}"
+            )
+        return dataclasses.replace(obj, **{field: value})
+    child = _replace_path(getattr(obj, field), parts[1:], value)
+    return dataclasses.replace(obj, **{field: child})
+
+
+def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
+    kind = spec.get("kind")
+    msg_bytes = int(spec.get("msg_kb", 100) * KB)
+    cfg_extra = dict(spec.get("config", {}))
+    if kind == "polling":
+        points = []
+        for interval in spec.get("intervals", [10_000]):
+            cfg = PollingConfig(
+                msg_bytes=msg_bytes, poll_interval_iters=int(interval),
+                **cfg_extra,
+            )
+            points.append(run_polling(system, cfg).to_dict())
+        return {"kind": kind, "points": points}
+    if kind == "pww":
+        points = []
+        for interval in spec.get("intervals", [100_000]):
+            cfg = PwwConfig(
+                msg_bytes=msg_bytes, work_interval_iters=int(interval),
+                **cfg_extra,
+            )
+            points.append(run_pww(system, cfg).to_dict())
+        return {"kind": kind, "points": points}
+    if kind == "offload":
+        verdict = CombSuite(system).offload_verdict(msg_bytes=msg_bytes)
+        return {
+            "kind": kind,
+            "offloaded": verdict.offloaded,
+            "wait_short_s": verdict.wait_short_s,
+            "wait_long_s": verdict.wait_long_s,
+            "summary": verdict.summary(),
+        }
+    if kind == "netperf":
+        res = run_netperf(system, msg_bytes=msg_bytes,
+                          wait_mode=spec.get("mode", "busywait"))
+        return {
+            "kind": kind, "mode": res.wait_mode,
+            "availability": res.availability,
+            "bandwidth_Bps": res.bandwidth_Bps,
+        }
+    if kind == "pingpong":
+        results = []
+        for size_kb in spec.get("sizes_kb", [100]):
+            r = run_pingpong(system, int(size_kb * KB))
+            results.append({
+                "msg_bytes": r.msg_bytes,
+                "latency_s": r.latency_s,
+                "bandwidth_Bps": r.bandwidth_Bps,
+            })
+        return {"kind": kind, "points": results}
+    raise ScenarioError(f"unknown experiment kind {kind!r}")
+
+
+def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
+    """Execute a scenario; returns the result document (JSON-ready)."""
+    if not isinstance(spec, dict):
+        spec = json.loads(Path(spec).read_text())
+    if "systems" not in spec or "experiments" not in spec:
+        raise ScenarioError("scenario needs 'systems' and 'experiments'")
+    results: Dict[str, Any] = {
+        "name": spec.get("name", "scenario"),
+        "systems": [],
+    }
+    for sys_spec in spec["systems"]:
+        system = resolve_preset(sys_spec["preset"])
+        overrides = sys_spec.get("overrides", {})
+        if overrides:
+            system = apply_overrides(system, overrides)
+        label = sys_spec.get("label", system.name)
+        entry = {"label": label, "preset": sys_spec["preset"],
+                 "experiments": []}
+        for exp in spec["experiments"]:
+            entry["experiments"].append(_run_experiment(system, exp))
+        results["systems"].append(entry)
+    return results
+
+
+def format_scenario_results(results: Dict) -> str:
+    """Short human-readable rendering of a scenario result document."""
+    lines = [f"scenario: {results['name']}"]
+    for entry in results["systems"]:
+        lines.append(f"\n[{entry['label']}]")
+        for exp in entry["experiments"]:
+            kind = exp["kind"]
+            if kind in ("polling", "pww"):
+                for p in exp["points"]:
+                    x = p.get("poll_interval_iters",
+                              p.get("work_interval_iters"))
+                    lines.append(
+                        f"  {kind:8s} interval={x:>10}: "
+                        f"bw={p['bandwidth_MBps']:7.2f} MB/s "
+                        f"avail={p['availability']:.3f}"
+                    )
+            elif kind == "offload":
+                lines.append(f"  offload  {exp['summary']}")
+            elif kind == "netperf":
+                lines.append(
+                    f"  netperf  {exp['mode']}: "
+                    f"avail={exp['availability']:.3f} "
+                    f"bw={exp['bandwidth_Bps'] / 1e6:.2f} MB/s"
+                )
+            elif kind == "pingpong":
+                for p in exp["points"]:
+                    lines.append(
+                        f"  pingpong {p['msg_bytes'] // KB:>6d} KB: "
+                        f"lat={p['latency_s'] * 1e6:8.1f} us "
+                        f"bw={p['bandwidth_Bps'] / 1e6:7.2f} MB/s"
+                    )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately small: events, generator processes, a heap-driven
+engine, and a handful of resource primitives.  Everything above it (CPUs,
+NICs, MPI) is built from these pieces.
+"""
+
+from .engine import Engine, INFINITY
+from .errors import (
+    EmptySchedule,
+    ProcessInterrupt,
+    SimulationError,
+    StopProcess,
+)
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .monitor import Monitor, TimeSeries, sparkline
+from .process import Process
+from .resources import Pipe, Request, Resource, Store
+from .rng import RngRegistry
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Engine",
+    "Event",
+    "INFINITY",
+    "Monitor",
+    "Pipe",
+    "Process",
+    "ProcessInterrupt",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "sparkline",
+    "TraceRecord",
+    "Tracer",
+]

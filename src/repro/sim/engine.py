@@ -1,0 +1,161 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the virtual clock and the pending-event heap.  Events
+scheduled for the same timestamp are ordered by (priority, insertion
+sequence), which makes every run fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from .errors import EmptySchedule, SimulationError
+from .events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
+from .process import Process, ProcessGenerator
+
+#: Infinity, used as the default run-until horizon.
+INFINITY = float("inf")
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+    trace:
+        Optional :class:`repro.sim.trace.Tracer` receiving kernel events.
+    """
+
+    def __init__(self, start_time: float = 0.0, trace=None):
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.trace = trace
+
+    # ----------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # Alias matching SimPy naming, convenient for readers used to it.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------- scheduling
+    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        """Insert a triggered event into the pending heap."""
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> Event:
+        """Run ``fn()`` after ``delay`` seconds; returns the trigger event."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _e: fn())
+        return ev
+
+    # -------------------------------------------------------------- execution
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``INFINITY`` if none."""
+        return self._queue[0][0] if self._queue else INFINITY
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        if self.trace is not None:
+            self.trace.record_kernel(self._now, event)
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the schedule is empty;
+        * a number — run until that simulation time (clock lands exactly on
+          it even if no event is scheduled there);
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            stop_at = INFINITY
+            stop_event = None
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_at = INFINITY
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})"
+                )
+
+        if stop_event is not None:
+            while not stop_event._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        while self._queue and self._queue[0][0] <= stop_at:
+            self.step()
+        if stop_at != INFINITY:
+            self._now = max(self._now, stop_at)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now:.9f} pending={len(self._queue)}>"

@@ -1,0 +1,117 @@
+"""Periodic sampling of simulation state into time series.
+
+A :class:`Monitor` spawns a lightweight sampler process that evaluates
+registered probes every ``period_s`` and stores ``(time, value)`` series —
+the instrument behind utilization timelines (see
+``examples/timeline_trace.py``).  Probes are plain callables, so anything
+reachable from Python can be charted: CPU snapshot fields, queue lengths,
+device counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import Engine
+
+
+@dataclass
+class TimeSeries:
+    """Sampled values of one probe."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        """Record one sample."""
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def rate(self) -> "TimeSeries":
+        """Derivative series: per-second change between samples.
+
+        Useful for cumulative probes (bytes, interrupt counts).
+        """
+        out = TimeSeries(f"{self.name}/s")
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                out.append(
+                    self.times[i],
+                    (self.values[i] - self.values[i - 1]) / dt,
+                )
+        return out
+
+
+class Monitor:
+    """Samples registered probes on a fixed period.
+
+    Sampling starts at construction and stops when the engine runs out of
+    events or :meth:`stop` is called.  The sampler never keeps the
+    simulation alive on its own: it reschedules itself only while other
+    events exist (``weak`` mode) unless ``run_forever`` is set.
+    """
+
+    def __init__(self, engine: Engine, period_s: float,
+                 run_forever: bool = False):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.engine = engine
+        self.period_s = period_s
+        self.series: Dict[str, TimeSeries] = {}
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._stopped = False
+        self._run_forever = run_forever
+        self._schedule()
+
+    def probe(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        """Register a probe; returns its (live) series."""
+        if name in self._probes:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes[name] = fn
+        self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._stopped = True
+
+    # ----------------------------------------------------------- internals
+    def _schedule(self) -> None:
+        self.engine.schedule_callback(self.period_s, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.engine.now
+        for name, fn in self._probes.items():
+            self.series[name].append(now, float(fn()))
+        # Reschedule only while the simulation is otherwise alive, so the
+        # monitor never spins an empty world forever.
+        if self._run_forever or self.engine.peek() != float("inf"):
+            self._schedule()
+
+
+def sparkline(series: TimeSeries, width: int = 60,
+              lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render a series as a unicode sparkline (resampled to ``width``)."""
+    if not series.values:
+        return f"{series.name}: (no samples)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    vals = series.values
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = (hi - lo) or 1.0
+    n = len(vals)
+    cells = []
+    for i in range(width):
+        j = min(n - 1, i * n // width)
+        frac = (vals[j] - lo) / span
+        cells.append(blocks[min(8, max(0, int(frac * 8 + 0.5)))])
+    return (f"{series.name:24s} [{lo:10.3g} .. {hi:10.3g}] "
+            + "".join(cells))

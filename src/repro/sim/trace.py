@@ -1,0 +1,68 @@
+"""Lightweight structured tracing for simulation runs.
+
+Tracing is opt-in: the engine and hardware models call ``record*`` methods
+only when a tracer is attached.  Records are plain tuples, cheap to emit and
+easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    source:
+        Name of the emitting component (e.g. ``"node0.nic.tx"``).
+    kind:
+        Short event-kind tag (e.g. ``"packet_tx"``, ``"irq"``).
+    detail:
+        Free-form payload (dict or tuple).
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Any = None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord`\\ s, optionally filtered by kind."""
+
+    def __init__(self, kinds: Optional[set] = None, sink: Optional[Callable] = None):
+        #: If not ``None``, only these kinds are recorded.
+        self.kinds = kinds
+        self.records: List[TraceRecord] = []
+        #: Optional callable invoked with each record (e.g. print).
+        self.sink = sink
+
+    def record(self, time: float, source: str, kind: str, detail: Any = None) -> None:
+        """Append a record if its kind passes the filter."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        rec = TraceRecord(time, source, kind, detail)
+        self.records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
+
+    def record_kernel(self, time: float, event: Any) -> None:
+        """Hook called by the engine for every processed event (noisy;
+        enabled only when ``"kernel"`` is in ``kinds``)."""
+        if self.kinds is not None and "kernel" not in self.kinds:
+            return
+        self.record(time, "engine", "kernel", repr(event))
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records with the given kind, in emission order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()

@@ -1,0 +1,72 @@
+"""Unit helpers.
+
+Internally the simulator uses SI base units throughout: seconds, bytes,
+bytes/second, hertz.  These helpers exist so configuration code reads like
+the paper ("100 KB messages", "45 microseconds", "500 MHz").
+
+The paper (and virtually all 2002-era networking literature) uses decimal
+units for bandwidth and binary-flavoured "KB" for message sizes; COMB's
+message sizes (10 KB, 50 KB...) are 1024-based, which we follow.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------- time
+USEC = 1e-6
+MSEC = 1e-3
+NSEC = 1e-9
+
+
+def usec(x: float) -> float:
+    """Microseconds → seconds."""
+    return x * USEC
+
+
+def msec(x: float) -> float:
+    """Milliseconds → seconds."""
+    return x * MSEC
+
+
+def nsec(x: float) -> float:
+    """Nanoseconds → seconds."""
+    return x * NSEC
+
+
+def to_usec(seconds: float) -> float:
+    """Seconds → microseconds."""
+    return seconds / USEC
+
+
+# ---------------------------------------------------------------- bytes
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def kib(x: float) -> int:
+    """Binary kilobytes (KiB, the paper's "KB") → bytes."""
+    return int(x * KiB)
+
+
+def mib(x: float) -> int:
+    """Binary megabytes → bytes."""
+    return int(x * MiB)
+
+
+# ------------------------------------------------------------ bandwidth
+MB_PER_S = 1e6
+
+
+def mbps(x: float) -> float:
+    """Decimal megabytes/second → bytes/second (paper's MB/s axes)."""
+    return x * MB_PER_S
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Bytes/second → decimal MB/s."""
+    return bytes_per_second / MB_PER_S
+
+
+# ------------------------------------------------------------ frequency
+def mhz(x: float) -> float:
+    """Megahertz → hertz."""
+    return x * 1e6

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import gm_system, portals_system, tcp_system
+
+@pytest.fixture
+def gm():
+    """The GM system preset."""
+    return gm_system()
+
+
+@pytest.fixture
+def portals():
+    """The Portals system preset."""
+    return portals_system()
+
+
+@pytest.fixture
+def tcp():
+    """The TCP system preset."""
+    return tcp_system()
+
+
+@pytest.fixture(params=["GM", "Portals"], ids=["gm", "portals"])
+def either_system(request):
+    """Parametrized over the paper's two measured systems."""
+    return gm_system() if request.param == "GM" else portals_system()
+
+
+def run_pair(world, gen0, gen1, until=None):
+    """Spawn one generator per rank and run until ``gen0`` finishes."""
+    p0 = world.engine.spawn(gen0, name="rank0")
+    world.engine.spawn(gen1, name="rank1")
+    return world.engine.run(until if until is not None else p0)
+
+
+KB = 1024

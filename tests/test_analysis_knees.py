@@ -1,0 +1,67 @@
+"""Tests: knee detection and the pipeline knee model."""
+
+import pytest
+
+from repro.analysis.knees import (
+    Knee,
+    find_knee_iters,
+    format_knees,
+    measure_knee,
+)
+from repro.core.polling import PollingConfig
+from repro.core.results import PollingPoint, Series
+
+KB = 1024
+
+
+def _series(points):
+    s = Series("x")
+    for interval, bw in points:
+        s.points.append(PollingPoint(
+            system="S", msg_bytes=1, poll_interval_iters=interval,
+            availability=0.5, bandwidth_Bps=bw, elapsed_s=1.0,
+            iters=1, polls=1, msgs=1,
+        ))
+    return s
+
+
+class TestFindKnee:
+    def test_locates_half_plateau_crossing(self):
+        s = _series([(10, 100.0), (100, 100.0), (1000, 100.0),
+                     (10_000, 25.0)])
+        knee = find_knee_iters(s)
+        assert 1000 < knee < 10_000
+
+    def test_interpolation_is_logarithmic(self):
+        # Crossing exactly halfway (in log-x) between 1e3 and 1e5.
+        s = _series([(10, 100.0), (100, 100.0), (1_000, 75.0),
+                     (100_000, 25.0)])
+        knee = find_knee_iters(s)
+        assert knee == pytest.approx(10_000, rel=0.01)
+
+    def test_no_collapse_returns_none(self):
+        s = _series([(10, 100.0), (100, 99.0), (1000, 98.0)])
+        assert find_knee_iters(s) is None
+
+    def test_short_series_returns_none(self):
+        assert find_knee_iters(_series([(10, 1.0), (100, 0.1)])) is None
+
+
+class TestKneeModel:
+    @pytest.mark.parametrize("factory_name", ["GM", "Portals"])
+    def test_measured_knee_matches_pipeline_model(self, factory_name,
+                                                  gm, portals):
+        system = gm if factory_name == "GM" else portals
+        knee = measure_knee(system, 100 * KB, per_decade=2)
+        # The model explains the knee within a small constant factor.
+        assert 0.4 <= knee.ratio <= 2.5, knee
+
+    def test_knees_ordered_by_size(self, portals):
+        small = measure_knee(portals, 10 * KB, per_decade=2)
+        large = measure_knee(portals, 300 * KB, per_decade=2)
+        assert small.measured_iters < large.measured_iters
+
+    def test_format_table(self, gm):
+        knee = Knee("GM", 100 * KB, 4, 88e6, 2.4e6, 2.3e6)
+        text = format_knees([knee])
+        assert "GM" in text and "ratio" in text

@@ -1,0 +1,68 @@
+"""Tests: the ``comb`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPointCommands:
+    def test_polling(self, capsys):
+        rc = main(["polling", "--system", "GM", "--size", "100",
+                   "--interval", "10000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "availability" in out and "bandwidth" in out
+
+    def test_pww(self, capsys):
+        rc = main(["pww", "--system", "Portals", "--size", "100",
+                   "--interval", "100000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "post" in out and "wait" in out
+
+    def test_pww_with_tests_in_work(self, capsys):
+        rc = main(["pww", "--system", "GM", "--interval", "1000000",
+                   "--tests-in-work", "1"])
+        assert rc == 0
+
+    def test_offload(self, capsys):
+        rc = main(["offload", "--system", "Portals"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "provides application offload" in out
+
+    def test_netperf(self, capsys):
+        rc = main(["netperf", "--system", "GM", "--mode", "busywait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "availability" in out
+
+
+class TestFiguresCommand:
+    def test_single_figure_with_export(self, capsys, tmp_path):
+        rc = main(["figures", "--ids", "fig13", "--out", str(tmp_path),
+                   "--no-plots"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert (tmp_path / "fig13.csv").exists()
+        data = json.loads((tmp_path / "fig13.json").read_text())
+        assert data["fig_id"] == "fig13"
+        assert "[PASS]" in out
+
+    def test_plots_rendered_by_default(self, capsys):
+        rc = main(["figures", "--ids", "fig13", "--per-decade", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Work Interval" in out
+
+
+class TestParsing:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["polling", "--system", "Elan"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,91 @@
+"""Property-based tests over the COMB drivers themselves.
+
+Hypothesis draws small random configurations; regardless of the draw, the
+methods' defining invariants must hold on both systems:
+
+* availability ∈ [0, 1];
+* aggregate bandwidth never exceeds the host-bus ceiling;
+* PWW phase durations are non-negative and sum to the cycle;
+* the PWW work phase never beats its dry time;
+* measurements are deterministic functions of their configuration.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import gm_system, portals_system
+from repro.core import PollingConfig, PwwConfig, run_polling, run_pww
+
+KB = 1024
+
+_sizes = st.sampled_from([4 * KB, 10 * KB, 16 * KB, 64 * KB, 100 * KB])
+_systems = st.sampled_from(["GM", "Portals"])
+
+
+def _system(name):
+    return gm_system() if name == "GM" else portals_system()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    name=_systems,
+    msg_bytes=_sizes,
+    interval=st.integers(min_value=10, max_value=10_000_000),
+    queue_depth=st.integers(min_value=1, max_value=6),
+)
+def test_polling_invariants(name, msg_bytes, interval, queue_depth):
+    system = _system(name)
+    pt = run_polling(system, PollingConfig(
+        msg_bytes=msg_bytes, poll_interval_iters=interval,
+        queue_depth=queue_depth, measure_s=0.01, warmup_s=0.002,
+        min_cycles=3,
+    ))
+    assert 0.0 <= pt.availability <= 1.0 + 1e-9
+    bus = system.machine.nic.host_dma_bandwidth_Bps
+    # Completed-payload accounting has window-edge effects; bound loosely.
+    assert pt.bandwidth_Bps <= bus * 1.35
+    assert pt.elapsed_s > 0
+    assert pt.iters >= 0
+    if name == "GM":
+        assert pt.interrupts == 0
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    name=_systems,
+    msg_bytes=_sizes,
+    work=st.integers(min_value=0, max_value=3_000_000),
+    batch=st.integers(min_value=1, max_value=3),
+    tests=st.integers(min_value=0, max_value=2),
+)
+def test_pww_invariants(name, msg_bytes, work, batch, tests):
+    system = _system(name)
+    pt = run_pww(system, PwwConfig(
+        msg_bytes=msg_bytes, work_interval_iters=work, batch_msgs=batch,
+        batches=4, warmup_batches=1, tests_in_work=tests,
+    ))
+    assert 0.0 <= pt.availability <= 1.0 + 1e-9
+    assert pt.post_s > 0 and pt.work_s >= 0 and pt.wait_s >= 0
+    assert pt.work_s >= pt.work_dry_s - 1e-12
+    cycle = pt.post_s + pt.work_s + pt.wait_s
+    assert cycle * pt.batches == pytest.approx(pt.elapsed_s, rel=1e-6)
+    assert pt.bandwidth_Bps > 0
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    name=_systems,
+    msg_bytes=_sizes,
+    interval=st.integers(min_value=100, max_value=1_000_000),
+)
+def test_polling_determinism_property(name, msg_bytes, interval):
+    cfg = PollingConfig(
+        msg_bytes=msg_bytes, poll_interval_iters=interval,
+        measure_s=0.008, warmup_s=0.002, min_cycles=3,
+    )
+    a = run_polling(_system(name), cfg)
+    b = run_polling(_system(name), cfg)
+    assert a.to_dict() == b.to_dict()

@@ -1,0 +1,112 @@
+"""Tests: sweeps, suite driver, result records."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    CombSuite,
+    PollingConfig,
+    PwwConfig,
+    Series,
+    log_intervals,
+    polling_sweep,
+    pww_sweep,
+)
+from repro.core.results import PollingPoint, PwwPoint
+
+KB = 1024
+
+
+class TestLogIntervals:
+    def test_endpoints_included(self):
+        grid = log_intervals(10, 1e6, per_decade=1)
+        assert grid[0] == 10 and grid[-1] == 1_000_000
+
+    def test_monotonic_unique(self):
+        grid = log_intervals(10, 1e8, per_decade=3)
+        assert grid == sorted(set(grid))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_intervals(0, 100)
+        with pytest.raises(ValueError):
+            log_intervals(100, 10)
+
+    def test_degenerate_single_decade(self):
+        grid = log_intervals(100, 100, per_decade=2)
+        assert grid == [100]
+
+
+class TestSweeps:
+    def test_polling_sweep_series(self, gm):
+        base = PollingConfig(measure_s=0.01, warmup_s=0.002, min_cycles=3)
+        series = polling_sweep(gm, 100 * KB, [1_000, 100_000], base=base)
+        assert len(series) == 2
+        assert series.label == "GM 100 KB"
+        assert series.xs("poll_interval_iters") == [1_000, 100_000]
+        assert all(isinstance(p, PollingPoint) for p in series)
+
+    def test_pww_sweep_series(self, portals):
+        base = PwwConfig(batches=4, warmup_batches=1)
+        series = pww_sweep(portals, 100 * KB, [10_000, 1_000_000], base=base)
+        assert len(series) == 2
+        assert all(isinstance(p, PwwPoint) for p in series)
+
+    def test_custom_label(self, gm):
+        base = PollingConfig(measure_s=0.01, warmup_s=0.002, min_cycles=3)
+        series = polling_sweep(gm, 10 * KB, [1000], base=base, label="mine")
+        assert series.label == "mine"
+
+
+class TestSuite:
+    def test_polling_and_pww_entry_points(self, gm):
+        suite = CombSuite(gm)
+        pt = suite.polling(msg_bytes=100 * KB, poll_interval_iters=1_000,
+                           measure_s=0.01, warmup_s=0.002, min_cycles=3)
+        assert pt.bandwidth_MBps > 0
+        pw = suite.pww(msg_bytes=100 * KB, work_interval_iters=100_000,
+                       batches=4, warmup_batches=1)
+        assert pw.wait_s > 0
+
+    def test_offload_verdicts(self, gm, portals):
+        assert not CombSuite(gm).offload_verdict().offloaded
+        assert CombSuite(portals).offload_verdict().offloaded
+
+    def test_offload_summary_strings(self, gm, portals):
+        assert "does NOT provide" in CombSuite(gm).offload_report()
+        assert "provides" in CombSuite(portals).offload_report()
+
+    def test_curves(self, gm):
+        base = PollingConfig(measure_s=0.01, warmup_s=0.002, min_cycles=3)
+        curve = CombSuite(gm).polling_curve(
+            100 * KB, lo=1e3, hi=1e5, per_decade=1, base=base
+        )
+        assert len(curve) == 3
+
+
+class TestResults:
+    def test_polling_point_to_dict(self, gm):
+        pt = PollingPoint(
+            system="GM", msg_bytes=1024, poll_interval_iters=10,
+            availability=0.5, bandwidth_Bps=5e7, elapsed_s=0.1,
+            iters=1e6, polls=100, msgs=10,
+        )
+        d = pt.to_dict()
+        assert d["bandwidth_MBps"] == pytest.approx(50.0)
+        assert d["availability"] == 0.5
+
+    def test_pww_point_derived_fields(self):
+        pt = PwwPoint(
+            system="P", msg_bytes=1024, work_interval_iters=10,
+            availability=0.5, bandwidth_Bps=1e6, elapsed_s=1.0, batches=5,
+            post_s=10e-6, work_s=150e-6, wait_s=40e-6, work_dry_s=100e-6,
+            batch_msgs=2,
+        )
+        assert pt.post_per_msg_s == pytest.approx(2.5e-6)
+        assert pt.overhead_s == pytest.approx(50e-6)
+
+    def test_series_accessors(self):
+        s = Series("x", [1, 2, 3])
+        assert len(s) == 3
+        assert list(s) == [1, 2, 3]

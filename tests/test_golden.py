@@ -1,0 +1,83 @@
+"""Golden regression tests.
+
+The simulator is deterministic, so canonical runs must reproduce the
+recorded values *exactly* (to float round-trip).  Any intentional change
+to timing behaviour — protocol, scheduler, calibration — must regenerate
+``tests/golden_values.json`` (see the module-level docstring there is no
+script: the generation snippet lives in this file's ``regenerate``
+function) and be justified against EXPERIMENTS.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import run_pingpong
+from repro.config import gm_system, portals_system
+from repro.core import PollingConfig, PwwConfig, run_polling, run_pww
+
+KB = 1024
+GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
+
+
+def compute_current() -> dict:
+    """Re-run the canonical measurements (also the regeneration recipe:
+    ``json.dump(compute_current(), open(GOLDEN_PATH, 'w'), indent=2)``)."""
+    out = {}
+    for name, factory in (("GM", gm_system), ("Portals", portals_system)):
+        pt = run_polling(factory(), PollingConfig(
+            msg_bytes=100 * KB, poll_interval_iters=1_000,
+            measure_s=0.02, warmup_s=0.004,
+        ))
+        out[f"{name}.polling.100KB.1e3"] = {
+            "availability": pt.availability,
+            "bandwidth_Bps": pt.bandwidth_Bps,
+            "msgs": pt.msgs,
+            "interrupts": pt.interrupts,
+        }
+        pw = run_pww(factory(), PwwConfig(
+            msg_bytes=100 * KB, work_interval_iters=100_000,
+            batches=6, warmup_batches=2,
+        ))
+        out[f"{name}.pww.100KB.1e5"] = {
+            "availability": pw.availability,
+            "bandwidth_Bps": pw.bandwidth_Bps,
+            "post_s": pw.post_s,
+            "work_s": pw.work_s,
+            "wait_s": pw.wait_s,
+        }
+        pp = run_pingpong(factory(), 100 * KB, repeats=5, warmup=1)
+        out[f"{name}.pingpong.100KB"] = {"latency_s": pp.latency_s}
+    return out
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_current()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_keys_match(current, golden):
+    assert set(current) == set(golden)
+
+
+@pytest.mark.parametrize("key", [
+    "GM.polling.100KB.1e3",
+    "GM.pww.100KB.1e5",
+    "GM.pingpong.100KB",
+    "Portals.polling.100KB.1e3",
+    "Portals.pww.100KB.1e5",
+    "Portals.pingpong.100KB",
+])
+def test_golden_values_exact(current, golden, key):
+    for field, expected in golden[key].items():
+        measured = current[key][field]
+        assert measured == pytest.approx(expected, rel=1e-12), (
+            f"{key}.{field}: measured {measured!r} vs golden {expected!r} — "
+            f"timing behaviour changed; regenerate goldens if intentional"
+        )

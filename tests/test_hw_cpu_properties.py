@@ -1,0 +1,127 @@
+"""Property-based tests: CPU time conservation under arbitrary schedules.
+
+Hypothesis drives random mixes of compute segments, kernel interrupts and
+idle gaps; the invariants must hold regardless:
+
+* ``user + kernel + idle == elapsed`` at every sampled instant;
+* every context receives exactly the user time it asked for;
+* kernel time equals the sum of submitted kernel costs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CpuConfig
+from repro.hardware.cpu import CPU
+from repro.sim import Engine
+
+# Durations in milliseconds to keep float noise tame; converted on use.
+_dur = st.integers(min_value=1, max_value=50)
+_gap = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def schedules(draw):
+    n_ctx = draw(st.integers(min_value=1, max_value=3))
+    segments = {
+        i: draw(st.lists(st.tuples(_gap, _dur), min_size=1, max_size=5))
+        for i in range(n_ctx)
+    }
+    irqs = draw(st.lists(st.tuples(_gap, _dur), min_size=0, max_size=8))
+    quantum_ms = draw(st.sampled_from([5, 10, 1000]))
+    return segments, irqs, quantum_ms
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_time_conservation(schedule):
+    segments, irqs, quantum_ms = schedule
+    engine = Engine()
+    cpu = CPU(engine, CpuConfig(timeslice_s=quantum_ms / 1e3))
+    contexts = {}
+    asked = {}
+
+    def proc(i, segs):
+        ctx = contexts[i]
+        for gap, dur in segs:
+            if gap:
+                yield engine.timeout(gap / 1e3)
+            yield ctx.compute(dur / 1e3)
+
+    for i, segs in segments.items():
+        contexts[i] = cpu.new_context(f"ctx{i}")
+        asked[i] = sum(d for _g, d in segs) / 1e3
+        engine.spawn(proc(i, segs))
+
+    total_irq = 0.0
+
+    def irq_proc():
+        nonlocal total_irq
+        for gap, dur in irqs:
+            yield engine.timeout(gap / 1e3)
+            cpu.kernel_work(dur / 1e3)
+            total_irq += dur / 1e3
+
+    engine.spawn(irq_proc())
+    engine.run()
+
+    snap = cpu.snapshot()
+    assert snap["user_s"] + snap["kernel_s"] + snap["idle_s"] == pytest.approx(
+        cpu.elapsed(), abs=1e-9
+    )
+    assert snap["kernel_s"] == pytest.approx(total_irq, abs=1e-9)
+    for i, ctx in contexts.items():
+        assert ctx.user_time_s == pytest.approx(asked[i], abs=1e-9)
+    assert snap["idle_s"] >= -1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(_gap, _dur), min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=40),
+)
+def test_wall_time_never_below_user_time(irq_plan, compute_ms):
+    """A compute segment's wall duration >= its user duration, exactly
+    equal when nothing preempts."""
+    engine = Engine()
+    cpu = CPU(engine, CpuConfig())
+    ctx = cpu.new_context("c")
+    out = {}
+
+    def proc():
+        t0 = engine.now
+        yield ctx.compute(compute_ms / 1e3)
+        out["wall"] = engine.now - t0
+
+    def irq_proc():
+        for gap, dur in irq_plan:
+            yield engine.timeout(gap / 1e3)
+            cpu.kernel_work(dur / 1e3)
+
+    engine.spawn(proc())
+    engine.spawn(irq_proc())
+    engine.run()
+    assert out["wall"] >= compute_ms / 1e3 - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=6))
+def test_round_robin_is_work_conserving(durations_ms):
+    """N simultaneous hogs: the CPU is never idle until the last finishes,
+    so the last completion lands exactly at the total work."""
+    engine = Engine()
+    cpu = CPU(engine, CpuConfig(timeslice_s=0.005))
+    finish = []
+
+    def proc(ctx, dur):
+        yield ctx.compute(dur)
+        finish.append(engine.now)
+
+    for i, ms in enumerate(durations_ms):
+        engine.spawn(proc(cpu.new_context(f"c{i}"), ms / 1e3))
+    engine.run()
+    assert max(finish) == pytest.approx(sum(durations_ms) / 1e3)
+    snap = cpu.snapshot()
+    assert snap["idle_s"] == pytest.approx(0.0, abs=1e-9)

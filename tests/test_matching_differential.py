@@ -1,0 +1,126 @@
+"""Differential tests: transport matching vs a reference MPI matcher.
+
+Hypothesis generates random message programs (sizes straddling every
+protocol boundary, colliding tags, wildcard receives); the full simulated
+stack must produce exactly the matching a pure-Python reference of the
+MPI specification produces:
+
+    messages from one source are matchable in send order; each message
+    matches the earliest-posted compatible receive.
+
+Receives are all posted before any message is sent, so the reference is a
+simple greedy assignment — any deviation in the simulator (mis-ordered
+admission, wrong wildcard handling, protocol-dependent overtaking) breaks
+the equality.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import gm_system, portals_system
+from repro.mpi import ANY_SOURCE, ANY_TAG, build_world
+
+KB = 1024
+
+_sizes = st.sampled_from([0, 512, 4 * KB, 10 * KB, 16 * KB, 60 * KB])
+_tags = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    sends = [(draw(_sizes), draw(_tags)) for _ in range(n)]
+    # One receive per message; recv[i] is compatible with send tag pattern:
+    # either the exact tag of *some* send or a wildcard.
+    recvs = []
+    for _ in range(n):
+        wildcard_src = draw(st.booleans())
+        wildcard_tag = draw(st.booleans())
+        tag = ANY_TAG if wildcard_tag else draw(_tags)
+        recvs.append((ANY_SOURCE if wildcard_src else 1, tag))
+    return sends, recvs
+
+
+def reference_matching(sends, recvs):
+    """Greedy MPI reference: message k → earliest-posted compatible,
+    unmatched receive.  Returns recv_index -> send_index (or None)."""
+    matched = {}
+    taken = set()
+    for k, (_size, tag) in enumerate(sends):
+        for i, (want_src, want_tag) in enumerate(recvs):
+            if i in taken:
+                continue
+            if want_src not in (ANY_SOURCE, 1):
+                continue
+            if want_tag not in (ANY_TAG, tag):
+                continue
+            matched[i] = k
+            taken.add(i)
+            break
+    return matched
+
+
+def run_program(system, sends, recvs):
+    """Post all receives, then send everything; return recv msg_ids."""
+    world = build_world(system)
+    engine = world.engine
+    h0 = world.endpoint(0).bind(world.cluster[0].new_context("a"))
+    h1 = world.endpoint(1).bind(world.cluster[1].new_context("b"))
+    out = {}
+
+    def receiver():
+        reqs = []
+        for src, tag in recvs:
+            # Declared size: the max any message could carry (the declared
+            # size does not participate in matching).
+            r = yield from h0.irecv(src, 60 * KB, tag)
+            reqs.append(r)
+        out["reqs"] = reqs
+        # Wait only for the receives the reference says will match.
+        expected = reference_matching(sends, recvs)
+        matchable = [reqs[i] for i in expected]
+        if matchable:
+            yield from h0.waitall(matchable)
+
+    def sender():
+        sreqs = []
+        yield engine.timeout(1e-3)  # ensure all receives are posted first
+        for size, tag in sends:
+            r = yield from h1.isend(0, size, tag)
+            sreqs.append(r)
+        # Only sends the reference says will match can be waited on: an
+        # unmatched *rendezvous* send legitimately never completes (its
+        # CTS never comes) — waiting on it would deadlock, per MPI.
+        matched_sends = set(reference_matching(sends, recvs).values())
+        waitable = [sreqs[k] for k in sorted(matched_sends)]
+        if waitable:
+            yield from h1.waitall(waitable)
+        out["send_ids"] = [r.msg_id for r in sreqs]
+
+    p0 = engine.spawn(receiver())
+    p1 = engine.spawn(sender())
+    engine.run(engine.all_of([p0, p1]))
+    return out
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(prog=programs(), system_name=st.sampled_from(["GM", "Portals"]))
+def test_matching_equals_reference(prog, system_name):
+    sends, recvs = prog
+    system = gm_system() if system_name == "GM" else portals_system()
+    expected = reference_matching(sends, recvs)
+    out = run_program(system, sends, recvs)
+    send_ids = out["send_ids"]
+    reqs = out["reqs"]
+    for i, req in enumerate(reqs):
+        if i in expected:
+            k = expected[i]
+            assert req.done, f"recv {i} should have matched send {k}"
+            assert req.msg_id == send_ids[k], (
+                f"recv {i} matched message {req.msg_id}, reference says "
+                f"send {k} (= {send_ids[k]})"
+            )
+            assert req.match_tag == sends[k][1]
+        else:
+            assert not req.done, f"recv {i} should have stayed unmatched"

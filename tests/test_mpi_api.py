@@ -1,0 +1,269 @@
+"""Integration tests: the MPI subset's semantics on both transports.
+
+Every test here runs a small two-rank program on a fresh world; most are
+parametrized over GM (library-polled) and Portals (offloaded) because the
+semantics must be identical even though the mechanics differ completely.
+"""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, build_world
+from repro.mpi.request import RequestKind
+
+KB = 1024
+
+
+def make(world):
+    """Handles + engine for the standard two-rank setup."""
+    ctx0 = world.cluster[0].new_context("app0")
+    ctx1 = world.cluster[1].new_context("app1")
+    return (world.engine, world.endpoint(0).bind(ctx0),
+            world.endpoint(1).bind(ctx1))
+
+
+class TestBlockingExchange:
+    @pytest.mark.parametrize("nbytes", [0, 1, 4096, 10 * KB, 100 * KB])
+    def test_send_recv_roundtrip(self, either_system, nbytes):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        done = {}
+
+        def rank0():
+            yield from h0.send(1, nbytes, tag=3)
+            req = yield from h0.recv(1, nbytes, tag=4)
+            done["src"] = req.match_src
+
+        def rank1():
+            req = yield from h1.recv(0, nbytes, tag=3)
+            assert req.match_src == 0 and req.match_tag == 3
+            yield from h1.send(0, nbytes, tag=4)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert done["src"] == 1
+
+    def test_barrier(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        times = {}
+
+        def rank(h, key, pre_delay):
+            yield engine.timeout(pre_delay)
+            yield from h.barrier()
+            times[key] = engine.now
+
+        p0 = engine.spawn(rank(h0, 0, 0.0))
+        p1 = engine.spawn(rank(h1, 1, 0.01))
+        engine.run(engine.all_of([p0, p1]))
+        # Neither exits the barrier before the slower entered it.
+        assert min(times.values()) >= 0.01
+
+
+class TestNonBlocking:
+    def test_isend_returns_pending_request(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            req = yield from h0.isend(1, 100 * KB, tag=1)
+            out["immediately_done"] = req.done
+            yield from h0.wait(req)
+            out["finally_done"] = req.done
+            assert req.kind is RequestKind.SEND
+
+        def rank1():
+            yield from h1.recv(0, 100 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out == {"immediately_done": False, "finally_done": True}
+
+    def test_test_eventually_true(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        polls = {"count": 0}
+
+        def rank0():
+            req = yield from h0.irecv(1, 10 * KB, tag=2)
+            flag = yield from h0.test(req)
+            while not flag:
+                polls["count"] += 1
+                yield engine.timeout(50e-6)
+                flag = yield from h0.test(req)
+
+        def rank1():
+            yield from h1.send(0, 10 * KB, tag=2)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert polls["count"] > 0  # it was not instant
+
+    def test_waitany_returns_first_index(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            r_slow = yield from h0.irecv(1, 100 * KB, tag=1)
+            r_fast = yield from h0.irecv(1, 1 * KB, tag=2)
+            idx = yield from h0.waitany([r_slow, r_fast])
+            out["idx"] = idx
+            yield from h0.waitall([r_slow, r_fast])
+
+        def rank1():
+            yield from h1.send(0, 1 * KB, tag=2)   # fast one first
+            yield from h1.send(0, 100 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["idx"] == 1
+
+    def test_testsome_lists_all_completed(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            reqs = []
+            for tag in (1, 2, 3):
+                r = yield from h0.irecv(1, 4 * KB, tag=tag)
+                reqs.append(r)
+            yield from h0.waitall(reqs)
+            done = yield from h0.testsome(reqs)
+            out["done"] = done
+
+        def rank1():
+            for tag in (1, 2, 3):
+                yield from h1.send(0, 4 * KB, tag=tag)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["done"] == [0, 1, 2]
+
+
+class TestMatchingSemantics:
+    def test_tag_selectivity(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        order = []
+
+        def rank0():
+            r9 = yield from h0.irecv(1, 4 * KB, tag=9)
+            r5 = yield from h0.irecv(1, 4 * KB, tag=5)
+            yield from h0.wait(r5)
+            order.append(("r5", r9.done))
+            yield from h0.wait(r9)
+
+        def rank1():
+            yield from h1.send(0, 4 * KB, tag=5)
+            yield from h1.send(0, 4 * KB, tag=9)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert order[0][0] == "r5"
+
+    def test_wildcard_receive_resolves_source_and_tag(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            req = yield from h0.irecv(ANY_SOURCE, 4 * KB, ANY_TAG)
+            yield from h0.wait(req)
+            out["src"], out["tag"] = req.match_src, req.match_tag
+
+        def rank1():
+            yield from h1.send(0, 4 * KB, tag=77)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out == {"src": 1, "tag": 77}
+
+    def test_unexpected_message_then_late_recv(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            # Let the message arrive (and sit unexpected) first.
+            yield engine.timeout(0.05)
+            req = yield from h0.recv(1, 10 * KB, tag=8)
+            out["done_at"] = engine.now
+
+        def rank1():
+            yield from h1.send(0, 10 * KB, tag=8)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["done_at"] >= 0.05
+
+    def test_unexpected_large_message(self, either_system):
+        # Exercises GM's rendezvous-unexpected path and Portals' header-only
+        # unexpected (the kernel-driven GET).
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            yield engine.timeout(0.05)
+            yield from h0.recv(1, 200 * KB, tag=8)
+            out["t"] = engine.now
+
+        def rank1():
+            yield from h1.send(0, 200 * KB, tag=8)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["t"] > 0.05
+
+    def test_nonovertaking_same_tag(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        sizes = [10 * KB, 100 * KB, 1 * KB, 50 * KB]
+        got = []
+
+        def rank0():
+            reqs = []
+            for i, s in enumerate(sizes):
+                r = yield from h0.irecv(1, s, tag=1)
+                reqs.append((i, r))
+            for i, r in reqs:
+                yield from h0.wait(r)
+                got.append(i)
+
+        def rank1():
+            for s in sizes:
+                yield from h1.send(0, s, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert got == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_bad_rank_rejected(self, gm):
+        world = build_world(gm)
+        engine, h0, _ = make(world)
+
+        def rank0():
+            yield from h0.isend(7, 100, tag=0)
+
+        p = engine.spawn(rank0())
+        with pytest.raises(ValueError):
+            engine.run(p)
+
+    def test_world_lookup(self, gm):
+        world = build_world(gm)
+        assert world.size == 2
+        assert world.endpoint(1).rank == 1

@@ -1,0 +1,215 @@
+"""Tests: the extended MPI surface — probe, cancel, sendrecv, waitsome,
+status objects."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Status, build_world
+
+KB = 1024
+
+
+def make(world):
+    ctx0 = world.cluster[0].new_context("app0")
+    ctx1 = world.cluster[1].new_context("app1")
+    return (world.engine, world.endpoint(0).bind(ctx0),
+            world.endpoint(1).bind(ctx1))
+
+
+class TestProbe:
+    def test_iprobe_negative_then_positive(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            st = yield from h0.iprobe(1, tag=9)
+            out["early"] = st
+            yield engine.timeout(0.05)  # let the message land unexpected
+            st = yield from h0.iprobe(1, tag=9)
+            out["late"] = st
+            yield from h0.recv(1, 8 * KB, tag=9)
+
+        def rank1():
+            yield from h1.send(0, 8 * KB, tag=9)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["early"] is None
+        assert out["late"] == Status(source=1, tag=9, nbytes=8 * KB)
+
+    def test_blocking_probe_then_sized_recv(self, either_system):
+        """The classic probe pattern: learn the size, then receive."""
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            st = yield from h0.probe(ANY_SOURCE, ANY_TAG)
+            out["status"] = st
+            req = yield from h0.recv(st.source, st.nbytes, st.tag)
+            out["match"] = (req.match_src, req.match_tag)
+
+        def rank1():
+            yield engine.timeout(0.001)
+            yield from h1.send(0, 12 * KB, tag=4)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["status"].nbytes == 12 * KB
+        assert out["match"] == (1, 4)
+
+    def test_probe_does_not_consume(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            yield engine.timeout(0.05)
+            a = yield from h0.iprobe(1)
+            b = yield from h0.iprobe(1)
+            out["twice"] = (a, b)
+            yield from h0.recv(1, 4 * KB, tag=1)
+
+        def rank1():
+            yield from h1.send(0, 4 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        a, b = out["twice"]
+        assert a == b and a is not None
+
+
+class TestCancel:
+    def test_cancel_unmatched_receive(self, either_system):
+        world = build_world(either_system)
+        engine, h0, _h1 = make(world)
+        out = {}
+
+        def rank0():
+            req = yield from h0.irecv(1, 4 * KB, tag=1)
+            ok = yield from h0.cancel(req)
+            out["cancelled"] = ok
+            out["done"] = req.done
+
+        p0 = engine.spawn(rank0())
+        engine.run(p0)
+        assert out == {"cancelled": True, "done": False}
+
+    def test_cancel_after_completion_fails(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            req = yield from h0.irecv(1, 4 * KB, tag=1)
+            yield from h0.wait(req)
+            ok = yield from h0.cancel(req)
+            out["cancelled"] = ok
+
+        def rank1():
+            yield from h1.send(0, 4 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["cancelled"] is False
+
+    def test_cancelled_receive_does_not_match(self, either_system):
+        """After a cancel, the message goes to a later receive instead."""
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            victim = yield from h0.irecv(1, 4 * KB, tag=1)
+            yield from h0.cancel(victim)
+            fresh = yield from h0.irecv(1, 4 * KB, tag=1)
+            yield from h0.wait(fresh)
+            out["victim_done"] = victim.done
+            out["fresh_done"] = fresh.done
+
+        def rank1():
+            yield engine.timeout(0.001)
+            yield from h1.send(0, 4 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out == {"victim_done": False, "fresh_done": True}
+
+
+class TestSendrecvWaitsome:
+    def test_sendrecv_exchanges(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            st = yield from h0.sendrecv(1, 10 * KB, 1, 20 * KB,
+                                        sendtag=1, recvtag=2)
+            out["status"] = st
+
+        def rank1():
+            st = yield from h1.sendrecv(0, 20 * KB, 0, 10 * KB,
+                                        sendtag=2, recvtag=1)
+            out["peer"] = st
+
+        p0 = engine.spawn(rank0())
+        p1 = engine.spawn(rank1())
+        engine.run(engine.all_of([p0, p1]))
+        assert out["status"] == Status(source=1, tag=2, nbytes=20 * KB)
+        assert out["peer"] == Status(source=0, tag=1, nbytes=10 * KB)
+
+    def test_waitsome_returns_all_completed(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            reqs = []
+            for tag in (1, 2, 3):
+                r = yield from h0.irecv(1, 2 * KB, tag=tag)
+                reqs.append(r)
+            yield engine.timeout(0.05)  # let several complete (offloaded)
+            done = yield from h0.waitsome(reqs)
+            out["some"] = done
+            yield from h0.waitall(reqs)
+
+        def rank1():
+            for tag in (1, 2, 3):
+                yield from h1.send(0, 2 * KB, tag=tag)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert len(out["some"]) >= 1
+
+
+class TestStatusObject:
+    def test_from_pending_request_rejected(self, gm):
+        from repro.mpi.request import Request, RequestKind
+        from repro.sim import Engine
+
+        req = Request(Engine(), RequestKind.RECV, 1, 1, 10)
+        with pytest.raises(ValueError):
+            Status.from_request(req)
+
+    def test_request_status_property(self, either_system):
+        world = build_world(either_system)
+        engine, h0, h1 = make(world)
+        out = {}
+
+        def rank0():
+            req = yield from h0.recv(ANY_SOURCE, 4 * KB, ANY_TAG)
+            out["status"] = req.status
+
+        def rank1():
+            yield from h1.send(0, 4 * KB, tag=31)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert out["status"] == Status(source=1, tag=31, nbytes=4 * KB)

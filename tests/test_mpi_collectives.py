@@ -1,0 +1,139 @@
+"""Tests: collectives over 2–8 node worlds (switch contention included)."""
+
+import pytest
+
+from repro.mpi import build_world
+from repro.mpi.collectives import (
+    _tree_children,
+    _tree_parent,
+    allreduce,
+    alltoall,
+    barrier_all,
+    bcast,
+    gather,
+    reduce,
+)
+
+KB = 1024
+
+
+def run_collective(system, n_nodes, coll, *args, **kwargs):
+    """Run ``coll`` on every rank; return (per-rank results, world)."""
+    world = build_world(system, n_nodes=n_nodes)
+    engine = world.engine
+    finish = {}
+
+    def rank_proc(rank):
+        ctx = world.cluster[rank].new_context(f"coll.{rank}")
+        h = world.endpoint(rank).bind(ctx)
+        yield from coll(h, *args, **kwargs)
+        finish[rank] = engine.now
+
+    procs = [engine.spawn(rank_proc(r)) for r in range(n_nodes)]
+    engine.run(engine.all_of(procs))
+    return finish, world
+
+
+class TestTreeShape:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_tree_is_spanning(self, size, root):
+        root = root % size
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for child in _tree_children(node, root, size):
+                assert child not in seen, "duplicate delivery"
+                seen.add(child)
+                frontier.append(child)
+        assert seen == set(range(size))
+
+    @pytest.mark.parametrize("size", [2, 4, 7])
+    def test_parent_child_consistency(self, size):
+        for rank in range(size):
+            for child in _tree_children(rank, 0, size):
+                assert _tree_parent(child, 0, size) == rank
+        assert _tree_parent(0, 0, size) is None
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n_nodes", [2, 4, 7])
+    def test_bcast_completes_everywhere(self, either_system, n_nodes):
+        finish, world = run_collective(
+            either_system, n_nodes, bcast, 50 * KB, 0
+        )
+        assert len(finish) == n_nodes
+        # Every non-root rank received the payload.
+        for rank in range(1, n_nodes):
+            assert world.endpoint(rank).device.stats.bytes_recv_done >= 50 * KB
+
+    def test_bcast_nonzero_root(self, gm):
+        finish, world = run_collective(gm, 4, bcast, 10 * KB, 2)
+        assert world.endpoint(2).device.stats.bytes_recv_done == 0
+        assert world.endpoint(0).device.stats.bytes_recv_done >= 10 * KB
+
+    @pytest.mark.parametrize("n_nodes", [2, 4])
+    def test_reduce_gathers_contributions(self, either_system, n_nodes):
+        finish, world = run_collective(
+            either_system, n_nodes, reduce, 20 * KB, 0
+        )
+        # Root received exactly the tree's inbound contributions.
+        root_stats = world.endpoint(0).device.stats
+        assert root_stats.bytes_recv_done > 0
+        total_recv = sum(
+            world.endpoint(r).device.stats.bytes_recv_done
+            for r in range(n_nodes)
+        )
+        assert total_recv == (n_nodes - 1) * 20 * KB
+
+    def test_allreduce_symmetry(self, gm):
+        finish, world = run_collective(gm, 4, allreduce, 20 * KB)
+        # Everyone ends with the result: all ranks received ≥ one payload.
+        for rank in range(1, 4):
+            assert world.endpoint(rank).device.stats.bytes_recv_done >= 20 * KB
+
+    def test_gather_root_collects_all(self, either_system):
+        finish, world = run_collective(either_system, 5, gather, 8 * KB, 0)
+        assert world.endpoint(0).device.stats.bytes_recv_done == 4 * 8 * KB
+
+    @pytest.mark.parametrize("n_nodes", [2, 4, 6])
+    def test_alltoall_full_exchange(self, gm, n_nodes):
+        finish, world = run_collective(gm, n_nodes, alltoall, 8 * KB)
+        for rank in range(n_nodes):
+            stats = world.endpoint(rank).device.stats
+            assert stats.bytes_recv_done == (n_nodes - 1) * 8 * KB
+            assert stats.bytes_send_done == (n_nodes - 1) * 8 * KB
+
+    @pytest.mark.parametrize("n_nodes", [2, 3, 8])
+    def test_barrier_synchronizes(self, either_system, n_nodes):
+        world = build_world(either_system, n_nodes=n_nodes)
+        engine = world.engine
+        entered = {}
+        left = {}
+
+        def rank_proc(rank, delay):
+            ctx = world.cluster[rank].new_context(f"bar.{rank}")
+            h = world.endpoint(rank).bind(ctx)
+            yield engine.timeout(delay)
+            entered[rank] = engine.now
+            yield from barrier_all(h)
+            left[rank] = engine.now
+
+        procs = [
+            engine.spawn(rank_proc(r, r * 0.001)) for r in range(n_nodes)
+        ]
+        engine.run(engine.all_of(procs))
+        assert min(left.values()) >= max(entered.values())
+
+    def test_bcast_scales_logarithmically(self, gm):
+        """Binomial tree: 8-way bcast costs ~3 serial hops, not 7."""
+        t2, _ = run_collective(gm, 2, bcast, 100 * KB, 0)
+        t8, _ = run_collective(gm, 8, bcast, 100 * KB, 0)
+        # log2(8)=3 rounds vs 1: within ~4x of the 2-node time, far below
+        # the 7x a sequential root-sends-to-all would cost.
+        assert max(t8.values()) < 4.5 * max(t2.values())
+
+    def test_alltoall_stresses_switch_ports(self, gm):
+        _finish, world = run_collective(gm, 6, alltoall, 32 * KB)
+        assert world.cluster.switch.packets_forwarded > 6 * 5 * 8

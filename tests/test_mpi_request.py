@@ -1,0 +1,112 @@
+"""Tests: Request lifecycle and the interrupt controller."""
+
+import pytest
+
+from repro.config import CpuConfig, InterruptConfig
+from repro.hardware.cpu import CPU
+from repro.mpi.request import Request, RequestKind
+from repro.os.interrupts import InterruptController
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestRequest:
+    def test_initial_state(self, engine):
+        req = Request(engine, RequestKind.SEND, peer=1, tag=5, nbytes=100)
+        assert not req.done
+        assert req.completion_time is None
+        assert req.posted_time == 0.0
+        assert req.msg_id is None
+
+    def test_complete_records_time_and_match(self, engine):
+        req = Request(engine, RequestKind.RECV, 1, 5, 100)
+        engine.timeout(2.0)
+        engine.run()
+        req.complete(src=1, tag=5)
+        assert req.done
+        assert req.completion_time == 2.0
+        assert (req.match_src, req.match_tag) == (1, 5)
+
+    def test_double_complete_rejected(self, engine):
+        req = Request(engine, RequestKind.SEND, 1, 5, 100)
+        req.complete()
+        with pytest.raises(RuntimeError):
+            req.complete()
+
+    def test_completion_event_before_done(self, engine):
+        req = Request(engine, RequestKind.SEND, 1, 5, 100)
+        ev = req.completion_event()
+        assert not ev.triggered
+        req.complete()
+        assert ev.triggered and ev.value is req
+
+    def test_completion_event_after_done(self, engine):
+        req = Request(engine, RequestKind.SEND, 1, 5, 100)
+        req.complete()
+        assert req.completion_event().triggered
+
+    def test_unique_ids(self, engine):
+        a = Request(engine, RequestKind.SEND, 1, 0, 0)
+        b = Request(engine, RequestKind.SEND, 1, 0, 0)
+        assert a.req_id != b.req_id
+
+    def test_repr_mentions_state(self, engine):
+        req = Request(engine, RequestKind.RECV, 1, 3, 64)
+        assert "pending" in repr(req)
+        req.complete()
+        assert "done" in repr(req)
+
+
+class TestInterruptController:
+    def _setup(self, engine, coalesce=0.0):
+        cpu = CPU(engine, CpuConfig())
+        irq = InterruptController(
+            cpu, InterruptConfig(coalesce_window_s=coalesce)
+        )
+        return cpu, irq
+
+    def test_charges_entry_body_exit(self, engine):
+        cpu, irq = self._setup(engine)
+        irq.raise_irq(10e-6)
+        engine.run()
+        cfg = InterruptConfig()
+        assert cpu.kernel_time_s == pytest.approx(
+            cfg.entry_s + 10e-6 + cfg.exit_s
+        )
+        assert irq.count == 1
+
+    def test_fn_runs_at_completion(self, engine):
+        cpu, irq = self._setup(engine)
+        fired = []
+        irq.raise_irq(5e-6, fn=lambda: fired.append(engine.now))
+        engine.run()
+        assert fired and fired[0] > 0
+
+    def test_no_coalescing_by_default(self, engine):
+        cpu, irq = self._setup(engine)
+        irq.raise_irq(10e-6)
+        irq.raise_irq(10e-6)
+        engine.run()
+        assert irq.coalesced == 0
+
+    def test_coalescing_when_kernel_busy(self, engine):
+        cpu, irq = self._setup(engine, coalesce=50e-6)
+        irq.raise_irq(10e-6)
+        irq.raise_irq(10e-6)  # raised while the first handler runs
+        engine.run()
+        assert irq.coalesced == 1
+        cfg = InterruptConfig()
+        # Only one entry/exit pair charged.
+        assert cpu.kernel_time_s == pytest.approx(
+            cfg.entry_s + cfg.exit_s + 20e-6
+        )
+
+    def test_time_charged_counter(self, engine):
+        cpu, irq = self._setup(engine)
+        irq.raise_irq(7e-6)
+        engine.run()
+        assert irq.time_charged_s == pytest.approx(cpu.kernel_time_s)

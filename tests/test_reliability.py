@@ -1,0 +1,223 @@
+"""Tests: go-back-N reliability — state machines and loss injection.
+
+The kernel transports' reliability module is exercised two ways: the pure
+state machines directly (exhaustively, including via hypothesis), and the
+full stack with packets actually dropped on the wire.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import FaultConfig, portals_system
+from repro.mpi import build_world
+from repro.os.driver import GoBackNRx, GoBackNTx
+
+KB = 1024
+
+
+class TestGoBackNTx:
+    def test_window_admission(self):
+        tx = GoBackNTx(window=2)
+        assert tx.can_send
+        assert tx.register("a") == 0
+        assert tx.register("b") == 1
+        assert not tx.can_send
+        with pytest.raises(RuntimeError):
+            tx.register("c")
+
+    def test_cumulative_ack_slides_window(self):
+        tx = GoBackNTx(window=3)
+        for p in "abc":
+            tx.register(p)
+        released, retrans = tx.on_ack(1)   # acks seqs 0 and 1
+        assert released == 2 and retrans == []
+        assert tx.base == 2 and tx.can_send
+
+    def test_stale_ack_is_duplicate(self):
+        tx = GoBackNTx(window=3, dup_ack_threshold=2)
+        for p in "abc":
+            tx.register(p)
+        tx.on_ack(0)
+        released, retrans = tx.on_ack(0)   # first duplicate
+        assert released == 0 and retrans == []
+        released, retrans = tx.on_ack(0)   # second: fast retransmit
+        assert retrans == ["b", "c"]
+        assert tx.retransmissions == 1
+
+    def test_timeout_retransmits_window(self):
+        tx = GoBackNTx(window=4)
+        for p in "abcd":
+            tx.register(p)
+        tx.on_ack(0)
+        assert tx.on_timeout() == ["b", "c", "d"]
+
+    def test_timeout_with_nothing_unacked(self):
+        tx = GoBackNTx(window=2)
+        assert tx.on_timeout() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoBackNTx(window=0)
+
+
+class TestGoBackNRx:
+    def test_in_order_delivery_and_ack_cadence(self):
+        rx = GoBackNRx(ack_every=2)
+        d0 = rx.on_data(0)
+        assert d0.deliver and not d0.send_ack
+        d1 = rx.on_data(1)
+        assert d1.deliver and d1.send_ack and d1.cum == 1
+
+    def test_force_ack_on_message_end(self):
+        rx = GoBackNRx(ack_every=4)
+        d = rx.on_data(0, force_ack=True)
+        assert d.send_ack and d.cum == 0
+
+    def test_gap_drops_and_reacks(self):
+        rx = GoBackNRx(ack_every=2)
+        rx.on_data(0)
+        d = rx.on_data(2)                  # seq 1 lost
+        assert not d.deliver and d.send_ack and d.cum == 0
+        assert d.kind == "gap"
+
+    def test_duplicate_reack(self):
+        rx = GoBackNRx(ack_every=2)
+        rx.on_data(0)
+        d = rx.on_data(0)
+        assert not d.deliver and d.send_ack and d.cum == 0
+        assert d.kind == "duplicate"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoBackNRx(ack_every=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rnd=st.randoms(use_true_random=False),
+        loss=st.floats(min_value=0.0, max_value=0.6),
+        window=st.integers(min_value=1, max_value=4),
+        ack_every=st.integers(min_value=1, max_value=6),
+    )
+    def test_lossy_channel_eventually_delivers_everything(
+        self, rnd, loss, window, ack_every
+    ):
+        """Round-based tx↔rx over a channel dropping data packets with
+        probability ``loss``: every sequence is delivered exactly once,
+        in order, with no livelock."""
+        tx = GoBackNTx(window=window)
+        rx = GoBackNRx(ack_every=ack_every)
+        total = 20
+        delivered = []
+        next_to_send = 0
+        channel = []  # payload == its sequence number
+        for _round in range(5000):
+            while next_to_send < total and tx.can_send:
+                channel.append(tx.register(next_to_send))
+                next_to_send += 1
+            if not channel:
+                if next_to_send == total and not tx.has_unacked:
+                    break
+                channel.extend(tx.on_timeout())  # retransmission timer
+            acks = []
+            for seq in channel:
+                if rnd.random() < loss:
+                    continue
+                dec = rx.on_data(seq, force_ack=(seq == total - 1))
+                if dec.deliver:
+                    delivered.append(seq)
+                if dec.send_ack:
+                    acks.append(dec.cum)
+            channel = []
+            for cum in acks:  # acks ride the protected channel
+                _released, retransmit = tx.on_ack(cum)
+                channel.extend(retransmit)
+        assert delivered == list(range(total))
+        assert not tx.has_unacked
+
+
+class TestLossInjection:
+    def _lossy(self, rate, seed=0):
+        base = portals_system(seed=seed)
+        machine = dataclasses.replace(
+            base.machine, fault=FaultConfig(data_loss_rate=rate)
+        )
+        return dataclasses.replace(base, machine=machine)
+
+    def _transfer(self, system, nbytes=200 * KB):
+        world = build_world(system)
+        engine = world.engine
+        h0 = world.endpoint(0).bind(world.cluster[0].new_context("a"))
+        h1 = world.endpoint(1).bind(world.cluster[1].new_context("b"))
+
+        def rank0():
+            yield from h0.recv(1, nbytes, tag=1)
+            return engine.now
+
+        def rank1():
+            yield from h1.send(0, nbytes, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        return engine.run(p0), world
+
+    def test_transfer_completes_under_loss(self):
+        t, world = self._transfer(self._lossy(0.05))
+        dropped = sum(
+            link.packets_dropped for link in world.cluster.switch._out.values()
+        )
+        assert dropped > 0, "the fault injector should have dropped packets"
+        assert world.endpoint(0).device.stats.bytes_recv_done == 200 * KB
+
+    def test_heavy_loss_still_completes(self):
+        t, world = self._transfer(self._lossy(0.25), nbytes=100 * KB)
+        assert world.endpoint(0).device.stats.bytes_recv_done == 100 * KB
+        # The sender's reliability layer actually retransmitted.
+        tx_flows = world.endpoint(1).device._gbn_tx
+        assert any(f.retransmissions > 0 for f in tx_flows.values())
+
+    def test_loss_slows_transfers(self):
+        clean, _ = self._transfer(self._lossy(0.0))
+        lossy, _ = self._transfer(self._lossy(0.10))
+        assert lossy > clean
+
+    def test_lossy_runs_deterministic_per_seed(self):
+        a, _ = self._transfer(self._lossy(0.10, seed=7))
+        b, _ = self._transfer(self._lossy(0.10, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a, _ = self._transfer(self._lossy(0.10, seed=1))
+        b, _ = self._transfer(self._lossy(0.10, seed=2))
+        assert a != b
+
+    def test_bidirectional_lossy_pingpong(self):
+        system = self._lossy(0.08)
+        world = build_world(system)
+        engine = world.engine
+        h0 = world.endpoint(0).bind(world.cluster[0].new_context("a"))
+        h1 = world.endpoint(1).bind(world.cluster[1].new_context("b"))
+
+        def rank0():
+            for i in range(5):
+                yield from h0.send(1, 30 * KB, tag=i)
+                yield from h0.recv(1, 30 * KB, tag=100 + i)
+
+        def rank1():
+            for i in range(5):
+                yield from h1.recv(0, 30 * KB, tag=i)
+                yield from h1.send(0, 30 * KB, tag=100 + i)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert world.endpoint(0).device.stats.msgs_recv_done == 5
+
+    def test_loss_rate_validation(self):
+        from repro.hardware.link import Link
+        from repro.sim import Engine
+
+        link = Link(Engine(), 1e6, 0.0, 0)
+        with pytest.raises(ValueError):
+            link.set_loss(1.5, None)

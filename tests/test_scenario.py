@@ -1,0 +1,132 @@
+"""Tests: the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    ScenarioError,
+    apply_overrides,
+    format_scenario_results,
+    resolve_preset,
+    run_scenario,
+)
+
+
+class TestPresetResolution:
+    def test_core_presets(self):
+        assert resolve_preset("gm").name == "GM"
+        assert resolve_preset("Portals").name == "Portals"
+
+    def test_extension_presets(self):
+        assert resolve_preset("EMP").name == "EMP"
+        assert resolve_preset("OffloadNIC").name == "OffloadNIC"
+
+    def test_unknown_preset(self):
+        with pytest.raises(ScenarioError, match="unknown preset"):
+            resolve_preset("Elan4")
+
+
+class TestOverrides:
+    def test_nested_dotted_path(self, portals):
+        out = apply_overrides(portals, {"portals.tx_window_pkts": 9})
+        assert out.portals.tx_window_pkts == 9
+        assert portals.portals.tx_window_pkts != 9  # original untouched
+
+    def test_deeper_path(self, gm):
+        out = apply_overrides(
+            gm, {"machine.nic.host_dma_bandwidth_Bps": 50e6}
+        )
+        assert out.machine.nic.host_dma_bandwidth_Bps == 50e6
+
+    def test_unknown_field_rejected(self, gm):
+        with pytest.raises(ScenarioError, match="no field"):
+            apply_overrides(gm, {"machine.nic.warp_速度": 1})
+
+    def test_type_mismatch_rejected(self, gm):
+        with pytest.raises(ScenarioError, match="expected"):
+            apply_overrides(gm, {"machine.nic.mtu_bytes": "huge"})
+
+    def test_int_for_float_allowed(self, gm):
+        out = apply_overrides(gm, {"machine.cpu.timeslice_s": 1})
+        assert out.machine.cpu.timeslice_s == 1
+
+
+class TestRunScenario:
+    SPEC = {
+        "name": "unit",
+        "systems": [
+            {"preset": "GM"},
+            {"preset": "Portals", "label": "P/w8",
+             "overrides": {"portals.tx_window_pkts": 8}},
+        ],
+        "experiments": [
+            {"kind": "polling", "msg_kb": 50, "intervals": [2000],
+             "config": {"measure_s": 0.015, "warmup_s": 0.003}},
+            {"kind": "offload", "msg_kb": 100},
+            {"kind": "pingpong", "sizes_kb": [10]},
+        ],
+    }
+
+    def test_runs_and_structures_results(self):
+        results = run_scenario(self.SPEC)
+        assert results["name"] == "unit"
+        assert [e["label"] for e in results["systems"]] == ["GM", "P/w8"]
+        gm_entry = results["systems"][0]
+        kinds = [e["kind"] for e in gm_entry["experiments"]]
+        assert kinds == ["polling", "offload", "pingpong"]
+        assert gm_entry["experiments"][1]["offloaded"] is False
+        assert results["systems"][1]["experiments"][1]["offloaded"] is True
+
+    def test_results_json_serializable(self):
+        blob = json.dumps(run_scenario(self.SPEC))
+        assert "polling" in blob
+
+    def test_format_renders_everything(self):
+        text = format_scenario_results(run_scenario(self.SPEC))
+        assert "GM" in text and "P/w8" in text
+        assert "offload" in text and "pingpong" in text
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        results = run_scenario(path)
+        assert results["name"] == "unit"
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ScenarioError):
+            run_scenario({"systems": []})
+
+    def test_unknown_kind_rejected(self):
+        spec = dict(self.SPEC)
+        spec["experiments"] = [{"kind": "quantum"}]
+        with pytest.raises(ScenarioError, match="unknown experiment kind"):
+            run_scenario(spec)
+
+    def test_netperf_kind(self):
+        spec = {
+            "name": "n",
+            "systems": [{"preset": "GM"}],
+            "experiments": [{"kind": "netperf", "mode": "busywait"}],
+        }
+        results = run_scenario(spec)
+        exp = results["systems"][0]["experiments"][0]
+        assert exp["availability"] == pytest.approx(0.5, abs=0.05)
+
+    def test_cli_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "s.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli",
+            "systems": [{"preset": "GM"}],
+            "experiments": [
+                {"kind": "polling", "msg_kb": 50, "intervals": [2000],
+                 "config": {"measure_s": 0.015, "warmup_s": 0.003}},
+            ],
+        }))
+        out_path = tmp_path / "out.json"
+        rc = main(["scenario", str(spec_path), "--out", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        assert "cli" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Unit tests: engine scheduling semantics."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Engine, INFINITY, SimulationError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestClock:
+    def test_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_custom_start_time(self):
+        eng = Engine(start_time=100.0)
+        assert eng.now == 100.0
+        eng.timeout(1.0)
+        eng.run()
+        assert eng.now == 101.0
+
+    def test_peek_empty(self, engine):
+        assert engine.peek() == INFINITY
+
+    def test_peek_next(self, engine):
+        engine.timeout(5.0)
+        engine.timeout(2.0)
+        assert engine.peek() == 2.0
+
+
+class TestStep:
+    def test_step_empty_raises(self, engine):
+        with pytest.raises(EmptySchedule):
+            engine.step()
+
+    def test_steps_in_time_order(self, engine):
+        seen = []
+        for d in (3.0, 1.0, 2.0):
+            t = engine.timeout(d)
+            t.callbacks.append(lambda e, d=d: seen.append(d))
+        while True:
+            try:
+                engine.step()
+            except EmptySchedule:
+                break
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_fifo_within_same_time(self, engine):
+        seen = []
+        for i in range(5):
+            t = engine.timeout(1.0)
+            t.callbacks.append(lambda e, i=i: seen.append(i))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestRun:
+    def test_run_until_time_advances_clock(self, engine):
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_run_until_past_rejected(self, engine):
+        engine.run(until=5.0)
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+    def test_run_until_event_returns_value(self, engine):
+        t = engine.timeout(2.0, value="v")
+        assert engine.run(t) == "v"
+        assert engine.now == 2.0
+
+    def test_run_until_event_raises_failure(self, engine):
+        ev = engine.event()
+        engine.schedule_callback(1.0, lambda: ev.fail(KeyError("k")))
+        with pytest.raises(KeyError):
+            engine.run(ev)
+
+    def test_run_until_unreachable_event_deadlocks(self, engine):
+        ev = engine.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run(ev)
+
+    def test_run_until_exhaustion(self, engine):
+        engine.timeout(1.0)
+        engine.timeout(4.0)
+        engine.run()
+        assert engine.now == 4.0
+
+    def test_events_beyond_horizon_stay_queued(self, engine):
+        fired = []
+        t = engine.timeout(10.0)
+        t.callbacks.append(lambda e: fired.append(True))
+        engine.run(until=5.0)
+        assert not fired
+        engine.run(until=15.0)
+        assert fired
+
+
+class TestScheduleCallback:
+    def test_callback_runs_at_delay(self, engine):
+        times = []
+        engine.schedule_callback(3.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [3.0]
+
+    def test_determinism_across_runs(self):
+        def build():
+            eng = Engine()
+            log = []
+            for i in range(50):
+                eng.schedule_callback(
+                    (i * 7919 % 13) / 10.0, lambda i=i: log.append(i)
+                )
+            eng.run()
+            return log
+
+        assert build() == build()

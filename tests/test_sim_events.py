@@ -1,0 +1,152 @@
+"""Unit tests: event primitives of the simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Event, SimulationError, Timeout
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestEvent:
+    def test_starts_pending(self, engine):
+        ev = engine.event()
+        assert not ev.triggered
+        assert not ev.processed
+        assert ev.ok is None
+
+    def test_value_unavailable_while_pending(self, engine):
+        ev = engine.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_carries_value(self, engine):
+        ev = engine.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_rejected(self, engine):
+        ev = engine.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_then_succeed_rejected(self, engine):
+        ev = engine.event()
+        ev.fail(RuntimeError("x"))
+        ev.defuse()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        ev = engine.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callbacks_run_in_order(self, engine):
+        ev = engine.event()
+        order = []
+        ev.callbacks.append(lambda e: order.append(1))
+        ev.callbacks.append(lambda e: order.append(2))
+        ev.succeed()
+        engine.run()
+        assert order == [1, 2]
+
+    def test_unhandled_failure_raises_at_step(self, engine):
+        ev = engine.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            engine.run()
+
+    def test_defused_failure_is_silent(self, engine):
+        ev = engine.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        engine.run()  # no raise
+        assert ev.ok is False
+
+    def test_trigger_copies_state(self, engine):
+        src = engine.event().succeed("payload")
+        dst = engine.event()
+        dst.trigger(src)
+        assert dst.triggered and dst.value == "payload"
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, engine):
+        t = engine.timeout(2.5, value="done")
+        engine.run()
+        assert engine.now == 2.5
+        assert t.processed and t.value == "done"
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.timeout(-0.1)
+
+    def test_cannot_retrigger(self, engine):
+        t = engine.timeout(1.0)
+        with pytest.raises(SimulationError):
+            t.succeed()
+        with pytest.raises(SimulationError):
+            t.fail(RuntimeError())
+
+    def test_zero_delay_fires_now(self, engine):
+        fired = []
+        t = engine.timeout(0.0)
+        t.callbacks.append(lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.0]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, engine):
+        a, b = engine.timeout(1.0, "a"), engine.timeout(2.0, "b")
+        cond = engine.all_of([a, b])
+        engine.run(cond)
+        assert engine.now == 2.0
+        assert set(cond.value.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, engine):
+        a, b = engine.timeout(1.0, "a"), engine.timeout(2.0, "b")
+        cond = engine.any_of([a, b])
+        engine.run(cond)
+        assert engine.now == 1.0
+        assert list(cond.value.values()) == ["a"]
+
+    def test_empty_all_of_fires_immediately(self, engine):
+        cond = engine.all_of([])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_operator_composition(self, engine):
+        a, b = engine.timeout(1.0), engine.timeout(3.0)
+        both = a & b
+        either = engine.timeout(0.5) | engine.timeout(9.0)
+        engine.run(both)
+        assert engine.now == 3.0
+        assert either.processed  # fired at 0.5 along the way
+
+    def test_condition_propagates_failure(self, engine):
+        good = engine.timeout(1.0)
+        bad = engine.event()
+        cond = engine.all_of([good, bad])
+        bad.fail(RuntimeError("inner"))
+        cond.defuse()
+        engine.run()
+        assert cond.ok is False
+
+    def test_already_processed_constituents(self, engine):
+        a = engine.timeout(0.5)
+        engine.run()
+        cond = engine.all_of([a])
+        assert cond.triggered
+
+    def test_cross_engine_rejected(self, engine):
+        other = Engine()
+        a = engine.timeout(1.0)
+        b = other.timeout(1.0)
+        with pytest.raises(SimulationError):
+            engine.all_of([a, b])

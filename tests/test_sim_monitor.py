@@ -1,0 +1,91 @@
+"""Tests: the sampling monitor and sparkline rendering."""
+
+import pytest
+
+from repro.sim import Engine, Monitor, TimeSeries, sparkline
+
+
+class TestMonitor:
+    def test_samples_on_period(self):
+        engine = Engine()
+        counter = {"v": 0}
+
+        def bump():
+            for _ in range(10):
+                yield engine.timeout(0.001)
+                counter["v"] += 1
+
+        monitor = Monitor(engine, period_s=0.002)
+        series = monitor.probe("v", lambda: counter["v"])
+        engine.spawn(bump())
+        engine.run()
+        assert len(series) >= 4
+        assert series.values == sorted(series.values)  # monotone counter
+
+    def test_monitor_does_not_keep_simulation_alive(self):
+        engine = Engine()
+        Monitor(engine, period_s=0.001).probe("x", lambda: 1.0)
+        engine.timeout(0.005)
+        engine.run()
+        # The run terminated: the monitor stopped rescheduling itself soon
+        # after the last real event.
+        assert engine.now <= 0.007
+
+    def test_stop(self):
+        engine = Engine()
+        monitor = Monitor(engine, period_s=0.001, run_forever=True)
+        series = monitor.probe("x", lambda: engine.now)
+
+        def stopper():
+            yield engine.timeout(0.0035)
+            monitor.stop()
+
+        engine.spawn(stopper())
+        engine.run()
+        assert len(series) == 3  # samples at 1, 2, 3 ms
+
+    def test_duplicate_probe_rejected(self):
+        engine = Engine()
+        monitor = Monitor(engine, period_s=0.01)
+        monitor.probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            monitor.probe("x", lambda: 1.0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            Monitor(Engine(), period_s=0.0)
+
+
+class TestTimeSeries:
+    def test_rate(self):
+        ts = TimeSeries("bytes")
+        for i, v in enumerate([0, 100, 300, 300]):
+            ts.append(i * 1.0, v)
+        rate = ts.rate()
+        assert rate.values == [100.0, 200.0, 0.0]
+        assert rate.times == [1.0, 2.0, 3.0]
+
+    def test_rate_of_short_series(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 5.0)
+        assert len(ts.rate()) == 0
+
+
+class TestSparkline:
+    def test_renders_range_and_name(self):
+        ts = TimeSeries("load")
+        for i in range(20):
+            ts.append(i * 0.1, i % 5)
+        out = sparkline(ts, width=20)
+        assert "load" in out
+        assert "0" in out and "4" in out
+
+    def test_empty_series(self):
+        assert "no samples" in sparkline(TimeSeries("e"))
+
+    def test_constant_series(self):
+        ts = TimeSeries("c")
+        ts.append(0.0, 7.0)
+        ts.append(1.0, 7.0)
+        out = sparkline(ts, width=10)
+        assert "c" in out  # renders without dividing by zero

@@ -1,0 +1,143 @@
+"""Unit tests: Resource, Store and Pipe primitives."""
+
+import pytest
+
+from repro.sim import Engine, Pipe, Resource, SimulationError, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestResource:
+    def test_capacity_validation(self, engine):
+        with pytest.raises(ValueError):
+            Resource(engine, capacity=0)
+
+    def test_immediate_grant_within_capacity(self, engine):
+        res = Resource(engine, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queues_beyond_capacity(self, engine):
+        res = Resource(engine, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.triggered and not r2.triggered
+        assert res.queue_length == 1
+        res.release(r1)
+        assert r2.triggered
+
+    def test_priority_order(self, engine):
+        res = Resource(engine, capacity=1)
+        held = res.request()
+        low = res.request(priority=5)
+        high = res.request(priority=1)
+        res.release(held)
+        assert high.triggered and not low.triggered
+
+    def test_fifo_within_priority(self, engine):
+        res = Resource(engine, capacity=1)
+        held = res.request()
+        first = res.request(priority=3)
+        second = res.request(priority=3)
+        res.release(held)
+        assert first.triggered and not second.triggered
+
+    def test_release_without_hold_rejected(self, engine):
+        res = Resource(engine, capacity=1)
+        foreign = Resource(engine, capacity=1).request()
+        with pytest.raises(SimulationError):
+            res.release(foreign)
+
+    def test_cancel_waiting_request(self, engine):
+        res = Resource(engine, capacity=1)
+        held = res.request()
+        waiting = res.request()
+        waiting.cancel()
+        res.release(held)
+        assert not waiting.triggered
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("x")
+        ev = store.get()
+        assert ev.triggered and ev.value == "x"
+
+    def test_get_then_put_wakes_fifo(self, engine):
+        store = Store(engine)
+        g1, g2 = store.get(), store.get()
+        store.put(1)
+        store.put(2)
+        assert g1.value == 1 and g2.value == 2
+
+    def test_try_get(self, engine):
+        store = Store(engine)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put("y")
+        ok, item = store.try_get()
+        assert ok and item == "y"
+
+    def test_len_and_peek(self, engine):
+        store = Store(engine)
+        for i in range(3):
+            store.put(i)
+        assert len(store) == 3
+        assert store.peek_all() == [0, 1, 2]
+        assert len(store) == 3  # peek does not consume
+
+
+class TestPipe:
+    def test_occupancy_math(self, engine):
+        pipe = Pipe(engine, bandwidth_Bps=1000.0, setup_s=0.5)
+        assert pipe.occupancy_time(1000) == pytest.approx(1.5)
+
+    def test_serialization(self, engine):
+        pipe = Pipe(engine, bandwidth_Bps=100.0)
+        delivered = []
+        for i in range(3):
+            ev = pipe.transfer(100, payload=i)
+            ev.callbacks.append(lambda e: delivered.append((engine.now, e.value)))
+        engine.run()
+        assert delivered == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+    def test_latency_is_pipelined(self, engine):
+        pipe = Pipe(engine, bandwidth_Bps=100.0, latency_s=10.0)
+        delivered = []
+        for i in range(2):
+            ev = pipe.transfer(100, payload=i)
+            ev.callbacks.append(lambda e: delivered.append(engine.now))
+        engine.run()
+        # Occupancy 1s each, latency 10s added after exit, not serialized.
+        assert delivered == [11.0, 12.0]
+
+    def test_idle_gap_resets_busy(self, engine):
+        pipe = Pipe(engine, bandwidth_Bps=100.0)
+        pipe.transfer(100)
+        engine.run()
+        assert engine.now == 1.0
+        engine.timeout(5.0)
+        engine.run()
+        ev = pipe.transfer(100)
+        engine.run()
+        assert engine.now == 7.0  # started at 6.0, not back-to-back
+
+    def test_counters(self, engine):
+        pipe = Pipe(engine, bandwidth_Bps=100.0)
+        pipe.transfer(30)
+        pipe.transfer(70)
+        assert pipe.total_bytes == 100
+        assert pipe.total_items == 2
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            Pipe(engine, bandwidth_Bps=0.0)
+        pipe = Pipe(engine, bandwidth_Bps=10.0)
+        with pytest.raises(ValueError):
+            pipe.transfer(-1)

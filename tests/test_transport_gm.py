@@ -1,0 +1,205 @@
+"""Unit tests: GM transport specifics (OS-bypass, library-polled progress).
+
+These pin the behaviours §4 of the paper attributes to MPICH/GM: the
+eager/rendezvous split with its asymmetric send cost, zero interrupts, and
+— crucially — *no progress without library calls*.
+"""
+
+import pytest
+
+from repro.config import gm_system
+from repro.mpi import build_world
+from repro.transport.gm import GmDevice
+
+KB = 1024
+
+
+def make(world):
+    ctx0 = world.cluster[0].new_context("app0")
+    ctx1 = world.cluster[1].new_context("app1")
+    return (world.engine, ctx0,
+            world.endpoint(0).bind(ctx0), world.endpoint(1).bind(ctx1))
+
+
+class TestSendCosts:
+    @pytest.mark.parametrize(
+        "nbytes,expected_attr",
+        [(10 * KB, "eager_isend_s"), (100 * KB, "rndv_isend_s")],
+    )
+    def test_isend_host_cost_matches_protocol(self, gm, nbytes, expected_attr):
+        """§4.2: ~45 µs per eager send vs ~5 µs for rendezvous."""
+        world = build_world(gm)
+        engine, ctx0, h0, _h1 = make(world)
+        out = {}
+
+        def rank0():
+            u0 = ctx0.cpu.context_time(ctx0)
+            yield from h0.isend(1, nbytes, tag=1)
+            out["cost"] = ctx0.cpu.context_time(ctx0) - u0
+
+        p = engine.spawn(rank0())
+        engine.run(p)
+        assert out["cost"] == pytest.approx(getattr(gm.gm, expected_attr))
+
+    def test_threshold_boundary(self, gm):
+        """Exactly-at-threshold messages take the rendezvous path."""
+        world = build_world(gm)
+        engine, ctx0, h0, _ = make(world)
+        out = {}
+
+        def rank0():
+            u0 = ctx0.cpu.context_time(ctx0)
+            yield from h0.isend(1, gm.gm.eager_threshold_bytes, tag=1)
+            out["cost"] = ctx0.cpu.context_time(ctx0) - u0
+
+        engine.run(engine.spawn(rank0()))
+        assert out["cost"] == pytest.approx(gm.gm.rndv_isend_s)
+
+
+class TestNoInterrupts:
+    def test_transfers_raise_zero_interrupts(self, gm):
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+
+        def rank0():
+            yield from h0.send(1, 300 * KB, tag=1)
+            yield from h0.recv(1, 300 * KB, tag=2)
+
+        def rank1():
+            yield from h1.recv(0, 300 * KB, tag=1)
+            yield from h1.send(0, 300 * KB, tag=2)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert world.cluster[0].irq.count == 0
+        assert world.cluster[1].irq.count == 0
+        assert world.cluster[0].cpu.kernel_time_s == 0.0
+
+
+class TestProgressRule:
+    def test_no_progress_without_library_calls(self, gm):
+        """The §4.3 violation: a rendezvous transfer posted on both sides
+        makes no progress while neither process calls into MPI."""
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+        probe = {}
+
+        def rank0():
+            rreq = yield from h0.irecv(1, 100 * KB, tag=1)
+            sreq = yield from h0.isend(1, 100 * KB, tag=1)
+            # Long silence with no MPI calls at all.
+            yield engine.timeout(0.05)
+            probe["done_during_silence"] = (rreq.done, sreq.done)
+            yield from h0.waitall([rreq, sreq])
+            probe["done_after_wait"] = (rreq.done, sreq.done)
+
+        def rank1():
+            rreq = yield from h1.irecv(0, 100 * KB, tag=1)
+            sreq = yield from h1.isend(0, 100 * KB, tag=1)
+            yield engine.timeout(0.05)
+            yield from h1.waitall([rreq, sreq])
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert probe["done_during_silence"] == (False, False)
+        assert probe["done_after_wait"] == (True, True)
+
+    def test_eager_data_arrives_but_completes_at_library_call(self, gm):
+        """Eager payloads land in the bounce buffer autonomously, but the
+        receive request only completes inside a progress pass."""
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+        probe = {}
+
+        def rank0():
+            rreq = yield from h0.irecv(1, 8 * KB, tag=1)
+            yield engine.timeout(0.02)  # silence; data arrives meanwhile
+            dev = h0.device
+            probe["cq_pending"] = dev.has_work()
+            probe["done_before"] = rreq.done
+            yield from h0.wait(rreq)
+            probe["done_after"] = rreq.done
+
+        def rank1():
+            yield from h1.send(0, 8 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert probe == {
+            "cq_pending": True, "done_before": False, "done_after": True,
+        }
+
+
+class TestRendezvousHandshake:
+    def test_control_packets_emitted(self, gm):
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+
+        def rank0():
+            yield from h0.send(1, 100 * KB, tag=1)
+
+        def rank1():
+            yield from h1.recv(0, 100 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        # One RTS (sender) + one CTS (receiver).
+        assert h0.device.stats.ctrl_packets == 1
+        assert h1.device.stats.ctrl_packets == 1
+
+    def test_eager_needs_no_control_packets(self, gm):
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+
+        def rank0():
+            yield from h0.send(1, 4 * KB, tag=1)
+
+        def rank1():
+            yield from h1.recv(0, 4 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert h0.device.stats.ctrl_packets == 0
+        assert h1.device.stats.ctrl_packets == 0
+
+
+class TestStats:
+    def test_byte_counters(self, gm):
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+
+        def rank0():
+            yield from h0.send(1, 100 * KB, tag=1)
+            yield from h0.recv(1, 10 * KB, tag=2)
+
+        def rank1():
+            yield from h1.recv(0, 100 * KB, tag=1)
+            yield from h1.send(0, 10 * KB, tag=2)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert h0.device.stats.bytes_send_done == 100 * KB
+        assert h0.device.stats.bytes_recv_done == 10 * KB
+        assert h0.device.stats.msgs_send_done == 1
+        assert h0.device.stats.msgs_recv_done == 1
+
+    def test_progress_pass_counter(self, gm):
+        world = build_world(gm)
+        engine, _ctx0, h0, h1 = make(world)
+
+        def rank0():
+            yield from h0.send(1, 100 * KB, tag=1)
+
+        def rank1():
+            yield from h1.recv(0, 100 * KB, tag=1)
+
+        p0 = engine.spawn(rank0())
+        engine.spawn(rank1())
+        engine.run(p0)
+        assert h0.device.stats.progress_passes > 0

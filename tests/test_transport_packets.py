@@ -1,0 +1,92 @@
+"""Unit + property tests: packetization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.packets import (
+    Envelope,
+    PacketKind,
+    control_packet,
+    next_msg_id,
+    packetize,
+)
+
+
+class TestPacketize:
+    def test_exact_multiple(self):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 8192, 4096)
+        assert [p.payload_bytes for p in pkts] == [4096, 4096]
+
+    def test_remainder_on_last(self):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 5000, 4096)
+        assert [p.payload_bytes for p in pkts] == [4096, 904]
+
+    def test_zero_byte_message_single_packet(self):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 0, 4096)
+        assert len(pkts) == 1
+        assert pkts[0].is_first and pkts[0].is_last
+        assert pkts[0].payload_bytes == 0
+
+    def test_flags_and_indices(self):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 10_000, 4096)
+        assert pkts[0].is_first and not pkts[0].is_last
+        assert pkts[-1].is_last and not pkts[-1].is_first
+        assert [p.index for p in pkts] == [0, 1, 2]
+
+    def test_envelope_only_on_first(self):
+        env = Envelope(0, 1, 5, 10_000)
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 10_000, 4096, envelope=env)
+        assert pkts[0].envelope is env
+        assert all(p.envelope is None for p in pkts[1:])
+
+    def test_meta_copied_per_packet(self):
+        meta = {"proto": "x"}
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 8192, 4096, meta=meta)
+        pkts[0].meta["proto"] = "mutated"
+        assert pkts[1].meta["proto"] == "x"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packetize(PacketKind.DATA, 0, 1, 1, -1, 4096)
+        with pytest.raises(ValueError):
+            packetize(PacketKind.DATA, 0, 1, 1, 100, 0)
+
+    def test_wire_bytes_includes_header(self):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, 100, 4096)
+        assert pkts[0].wire_bytes(16) == 116
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=0, max_value=1_000_000),
+        mtu=st.integers(min_value=1, max_value=9000),
+    )
+    def test_reassembly_invariants(self, nbytes, mtu):
+        pkts = packetize(PacketKind.DATA, 0, 1, 1, nbytes, mtu)
+        assert sum(p.payload_bytes for p in pkts) == nbytes
+        assert pkts[0].is_first and pkts[-1].is_last
+        assert sum(1 for p in pkts if p.is_first) == 1
+        assert sum(1 for p in pkts if p.is_last) == 1
+        assert [p.index for p in pkts] == list(range(len(pkts)))
+        assert all(p.payload_bytes <= mtu for p in pkts)
+        # All fragments except the last are full.
+        assert all(p.payload_bytes == mtu for p in pkts[:-1])
+
+
+class TestControlPacket:
+    def test_zero_payload(self):
+        pkt = control_packet(PacketKind.RTS, 0, 1, 9)
+        assert pkt.payload_bytes == 0
+        assert pkt.is_first and pkt.is_last
+
+    def test_meta_defensive_copy(self):
+        meta = {"credits": 2}
+        pkt = control_packet(PacketKind.ACK, 0, 1, 9, meta=meta)
+        meta["credits"] = 99
+        assert pkt.meta["credits"] == 2
+
+
+class TestMsgIds:
+    def test_monotonic_unique(self):
+        ids = [next_msg_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
