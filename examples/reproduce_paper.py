@@ -9,6 +9,12 @@ Usage::
     python examples/reproduce_paper.py                 # full resolution
     python examples/reproduce_paper.py --quick         # coarse grids
     python examples/reproduce_paper.py --out results/  # plus CSV/JSON
+    python examples/reproduce_paper.py --jobs 4        # parallel sweeps
+    python examples/reproduce_paper.py --no-cache      # force re-simulation
+
+Sweep points are cached under ``.comb_cache/`` (content-addressed, salted
+with the simulator's source hash), so a second run only simulates points
+the first one never saw — typically none.
 """
 
 import argparse
@@ -16,6 +22,8 @@ import sys
 import time
 
 from repro.analysis import export_figures, format_report, run_all
+from repro.core import PointCache, SweepExecutor
+from repro.core.executor import DEFAULT_CACHE_DIR
 
 
 def main() -> int:
@@ -26,15 +34,26 @@ def main() -> int:
                         help="directory to export CSV/JSON into")
     parser.add_argument("--ids", nargs="*", default=None,
                         help="subset of figure ids (fig04..fig17)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep points")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk point cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="point-cache directory")
     args = parser.parse_args()
 
+    cache = None if args.no_cache else PointCache(args.cache_dir)
     t0 = time.time()
-    reports = run_all(per_decade=1 if args.quick else 2, fig_ids=args.ids)
+    with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+        reports = run_all(per_decade=1 if args.quick else 2,
+                          fig_ids=args.ids, executor=executor)
+        stats = executor.stats
     print(format_report(reports))
     if args.out:
         paths = export_figures([r.figure for r in reports], args.out)
         print(f"\nexported {len(paths)} files to {args.out}")
-    print(f"\nregenerated {len(reports)} figures in {time.time() - t0:.1f}s")
+    print(f"\nregenerated {len(reports)} figures in {time.time() - t0:.1f}s "
+          f"(jobs={args.jobs}, cache hits {stats.hits}/{stats.lookups})")
     return 0 if all(r.ok for r in reports) else 1
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig, gm_system, portals_system
+from ..core.executor import SweepExecutor
 from ..core.polling import PollingConfig
 from ..core.pww import PwwConfig
 from ..core.results import Series
@@ -75,11 +76,12 @@ def _poll_curves(
     lo: float = 1e1,
     hi: float = 1e8,
     x_attr: str = "poll_interval_iters",
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Curve]:
     grid = log_intervals(lo, hi, per_decade)
     curves = []
     for size in sizes:
-        series = polling_sweep(system, size, grid)
+        series = polling_sweep(system, size, grid, executor=executor)
         curves.append(
             Curve(_size_label(size), series.xs(x_attr), series.xs(y_attr))
         )
@@ -94,11 +96,12 @@ def _pww_curves(
     lo: float = 1e3,
     hi: float = 1e8,
     x_attr: str = "work_interval_iters",
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Curve]:
     grid = log_intervals(lo, hi, per_decade)
     curves = []
     for size in sizes:
-        series = pww_sweep(system, size, grid)
+        series = pww_sweep(system, size, grid, executor=executor)
         curves.append(
             Curve(_size_label(size), series.xs(x_attr), series.xs(y_attr))
         )
@@ -106,47 +109,53 @@ def _pww_curves(
 
 
 # --------------------------------------------------------------- Figures 4–7
-def fig04(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig04(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling method: CPU availability vs poll interval (Portals)."""
     return FigureData(
         "fig04", "Polling Method: CPU Availability (Portals)",
         "Poll Interval (loop iterations)", "CPU Availability (fraction to user)",
-        _poll_curves(portals_system(), sizes, "availability", per_decade),
+        _poll_curves(portals_system(), sizes, "availability", per_decade,
+                     executor=executor),
         notes="Low, stable plateau while messages flow (interrupt overhead); "
               "steep climb once the poll interval stalls the message flow.",
     )
 
 
-def fig05(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig05(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling method: bandwidth vs poll interval (Portals)."""
     return FigureData(
         "fig05", "Polling Method: Bandwidth (Portals)",
         "Poll Interval (loop iterations)", "Bandwidth (MB/s)",
-        _poll_curves(portals_system(), sizes, "bandwidth_MBps", per_decade),
+        _poll_curves(portals_system(), sizes, "bandwidth_MBps", per_decade,
+                     executor=executor),
         notes="Plateau of maximum sustained bandwidth, then steep decline "
               "when all in-flight messages complete within one interval.",
     )
 
 
-def fig06(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig06(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW method: CPU availability vs work interval (Portals)."""
     return FigureData(
         "fig06", "PWW Method: CPU Availability (Portals)",
         "Work Interval (loop iterations)", "CPU Availability (fraction to user)",
         _pww_curves(portals_system(), sizes, "availability", per_decade,
-                    lo=1e4, hi=1e7),
+                    lo=1e4, hi=1e7, executor=executor),
         notes="No low plateau: the wait phase suppresses availability until "
               "the work interval fills the delay (paper §4).",
     )
 
 
-def fig07(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig07(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW method: bandwidth vs work interval (Portals)."""
     return FigureData(
         "fig07", "PWW Method: Bandwidth (Portals)",
         "Work Interval (loop iterations)", "Bandwidth (MB/s)",
         _pww_curves(portals_system(), sizes, "bandwidth_MBps", per_decade,
-                    lo=1e3, hi=1e8),
+                    lo=1e3, hi=1e8, executor=executor),
         notes="More gradual decline than the polling method.",
     )
 
@@ -155,48 +164,52 @@ def fig07(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData
 def _gm_vs_portals(
     method: str, y_attr: str, per_decade: int, msg_bytes: int,
     lo: float, hi: float,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Curve]:
     grid = log_intervals(lo, hi, per_decade)
     curves = []
     for system in (gm_system(), portals_system()):
         if method == "polling":
-            series = polling_sweep(system, msg_bytes, grid)
+            series = polling_sweep(system, msg_bytes, grid, executor=executor)
             x_attr = "poll_interval_iters"
         else:
-            series = pww_sweep(system, msg_bytes, grid)
+            series = pww_sweep(system, msg_bytes, grid, executor=executor)
             x_attr = "work_interval_iters"
         curves.append(Curve(system.name, series.xs(x_attr), series.xs(y_attr)))
     return curves
 
 
-def fig08(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig08(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling bandwidth: GM vs Portals."""
     return FigureData(
         "fig08", "Polling Method: Bandwidth for GM and Portals",
         "Poll Interval (loop iterations)", "Bandwidth (MB/s)",
         _gm_vs_portals("polling", "bandwidth_MBps", per_decade, msg_bytes,
-                       1e1, 1e8),
+                       1e1, 1e8, executor=executor),
         notes="GM (OS-bypass, no interrupts/copies) sustains significantly "
               "higher bandwidth than kernel Portals on identical hardware.",
     )
 
 
-def fig09(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig09(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW bandwidth: GM vs Portals."""
     return FigureData(
         "fig09", "PWW Method: Bandwidth for GM and Portals",
         "Work Interval (loop iterations)", "Bandwidth (MB/s)",
         _gm_vs_portals("pww", "bandwidth_MBps", per_decade, msg_bytes,
-                       1e4, 1e7),
+                       1e4, 1e7, executor=executor),
         notes="GM wins at small work intervals; curves converge once the "
               "work interval dominates the cycle.",
     )
 
 
-def fig10(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig10(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW average post time per message: GM vs Portals."""
     curves = _gm_vs_portals("pww", "post_per_msg_s", per_decade, msg_bytes,
-                            1e4, 1e7)
+                            1e4, 1e7, executor=executor)
     for c in curves:
         c.y = [v * 1e6 for v in c.y]
     return FigureData(
@@ -207,9 +220,11 @@ def fig10(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
     )
 
 
-def fig11(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig11(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW average wait time: GM vs Portals (the offload signature)."""
-    curves = _gm_vs_portals("pww", "wait_s", per_decade, msg_bytes, 1e4, 1e7)
+    curves = _gm_vs_portals("pww", "wait_s", per_decade, msg_bytes, 1e4, 1e7,
+                            executor=executor)
     for c in curves:
         c.y = [v * 1e6 for v in c.y]
     return FigureData(
@@ -222,8 +237,9 @@ def fig11(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
 
 # ------------------------------------------------------------- Figures 12–13
 def _overhead_curves(system: SystemConfig, msg_bytes: int,
-                     grid: Sequence[int]) -> List[Curve]:
-    series = pww_sweep(system, msg_bytes, grid)
+                     grid: Sequence[int],
+                     executor: Optional[SweepExecutor] = None) -> List[Curve]:
+    series = pww_sweep(system, msg_bytes, grid, executor=executor)
     xs = series.xs("work_interval_iters")
     return [
         Curve("Work with MH", xs, [p.work_s * 1e6 for p in series]),
@@ -235,13 +251,14 @@ _LINEAR_GRID = tuple(range(25_000, 500_001, 47_500))
 
 
 def fig12(msg_bytes: int = 100 * 1024,
-          grid: Sequence[int] = _LINEAR_GRID) -> FigureData:
+          grid: Sequence[int] = _LINEAR_GRID,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW CPU overhead for Portals: work-phase time with vs without
     message handling."""
     return FigureData(
         "fig12", "PWW Method: CPU Overhead for Portals",
         "Work Interval (loop iterations)", "Average Time Per Message (us)",
-        _overhead_curves(portals_system(), msg_bytes, grid),
+        _overhead_curves(portals_system(), msg_bytes, grid, executor=executor),
         xscale="linear",
         notes="The gap is the overhead of interrupts processing Portals "
               "messages during the work phase.",
@@ -249,12 +266,13 @@ def fig12(msg_bytes: int = 100 * 1024,
 
 
 def fig13(msg_bytes: int = 100 * 1024,
-          grid: Sequence[int] = _LINEAR_GRID) -> FigureData:
+          grid: Sequence[int] = _LINEAR_GRID,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """PWW CPU overhead for GM: no gap (message handling is blocked)."""
     return FigureData(
         "fig13", "PWW Method: CPU Overhead for GM",
         "Work Interval (loop iterations)", "Average Time Per Message (us)",
-        _overhead_curves(gm_system(), msg_bytes, grid),
+        _overhead_curves(gm_system(), msg_bytes, grid, executor=executor),
         xscale="linear",
         notes="Work takes the same time with or without communication: GM "
               "steals no cycles — but also moves no data — during the work "
@@ -264,11 +282,12 @@ def fig13(msg_bytes: int = 100 * 1024,
 
 # ------------------------------------------------------------- Figures 14–17
 def _bw_vs_avail(system: SystemConfig, sizes: Sequence[int],
-                 per_decade: int) -> List[Curve]:
+                 per_decade: int,
+                 executor: Optional[SweepExecutor] = None) -> List[Curve]:
     grid = log_intervals(1e1, 1e8, per_decade)
     curves = []
     for size in sizes:
-        series = polling_sweep(system, size, grid)
+        series = polling_sweep(system, size, grid, executor=executor)
         curves.append(Curve(
             _size_label(size),
             series.xs("availability"),
@@ -277,12 +296,13 @@ def _bw_vs_avail(system: SystemConfig, sizes: Sequence[int],
     return curves
 
 
-def fig14(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig14(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling: bandwidth vs availability for GM."""
     return FigureData(
         "fig14", "Polling Method: Bandwidth Versus CPU Overhead for GM",
         "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        _bw_vs_avail(gm_system(), sizes, per_decade),
+        _bw_vs_avail(gm_system(), sizes, per_decade, executor=executor),
         xscale="linear",
         notes="Maximum sustained bandwidth with virtually all CPU cycles "
               "left to the application — except 10 KB, whose eager sends "
@@ -290,23 +310,27 @@ def fig14(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData
     )
 
 
-def fig15(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES) -> FigureData:
+def fig15(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling: bandwidth vs availability for Portals."""
     return FigureData(
         "fig15", "Polling Method: Bandwidth Versus CPU Overhead for Portals",
         "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        _bw_vs_avail(portals_system(), sizes, per_decade),
+        _bw_vs_avail(portals_system(), sizes, per_decade, executor=executor),
         xscale="linear",
         notes="Communication overhead restricts maximum sustained bandwidth "
               "to the lower ranges of CPU availability.",
     )
 
 
-def fig16(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig16(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Polling vs PWW bandwidth-availability trade-off for GM."""
     system = gm_system()
-    poll = polling_sweep(system, msg_bytes, log_intervals(1e1, 1e8, per_decade))
-    pww = pww_sweep(system, msg_bytes, log_intervals(1e3, 1e8, per_decade))
+    poll = polling_sweep(system, msg_bytes, log_intervals(1e1, 1e8, per_decade),
+                         executor=executor)
+    pww = pww_sweep(system, msg_bytes, log_intervals(1e3, 1e8, per_decade),
+                    executor=executor)
     return FigureData(
         "fig16", "Polling and PWW Method: Bandwidth for GM",
         "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
@@ -320,13 +344,14 @@ def fig16(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
     )
 
 
-def fig17(per_decade: int = 2, msg_bytes: int = 100 * 1024) -> FigureData:
+def fig17(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+          executor: Optional[SweepExecutor] = None) -> FigureData:
     """Fig 16 plus the PWW + MPI_Test variant (§4.3)."""
-    base = fig16(per_decade, msg_bytes)
+    base = fig16(per_decade, msg_bytes, executor=executor)
     system = gm_system()
     test_cfg = PwwConfig(msg_bytes=msg_bytes, tests_in_work=1)
     pww_t = pww_sweep(system, msg_bytes, log_intervals(1e3, 1e8, per_decade),
-                      base=test_cfg)
+                      base=test_cfg, executor=executor)
     curves = [base.curve("Poll"),
               Curve("PWW + Test", pww_t.xs("availability"),
                     pww_t.xs("bandwidth_MBps")),

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..core.executor import SweepExecutor, use_executor
 from .ascii_plot import render
 from .claims import ALL_CLAIMS, ClaimResult
 from .figures import ALL_FIGURES, FigureData
@@ -23,25 +24,39 @@ class FigureReport:
         return all(c.ok for c in self.claims)
 
 
-def run_figure(fig_id: str, per_decade: int = 2, **kwargs) -> FigureReport:
-    """Regenerate one figure and check its claims."""
+def run_figure(fig_id: str, per_decade: int = 2,
+               executor: Optional[SweepExecutor] = None,
+               **kwargs) -> FigureReport:
+    """Regenerate one figure and check its claims.
+
+    ``executor`` parallelizes/caches the figure's sweeps (see
+    :class:`~repro.core.executor.SweepExecutor`); ``None`` keeps the
+    serial reference path.
+    """
     try:
         generator = ALL_FIGURES[fig_id]
     except KeyError:
         raise KeyError(f"unknown figure {fig_id!r}; have {sorted(ALL_FIGURES)}")
-    if fig_id in ("fig12", "fig13"):
-        fig = generator(**kwargs)  # linear grids take no per_decade
-    else:
-        fig = generator(per_decade=per_decade, **kwargs)
+    with use_executor(executor):
+        if fig_id in ("fig12", "fig13"):
+            fig = generator(**kwargs)  # linear grids take no per_decade
+        else:
+            fig = generator(per_decade=per_decade, **kwargs)
     claims = ALL_CLAIMS[fig_id](fig)
     return FigureReport(fig, claims)
 
 
 def run_all(per_decade: int = 2,
-            fig_ids: Optional[Sequence[str]] = None) -> List[FigureReport]:
-    """Regenerate every requested figure (default: all of Figs 4–17)."""
+            fig_ids: Optional[Sequence[str]] = None,
+            executor: Optional[SweepExecutor] = None) -> List[FigureReport]:
+    """Regenerate every requested figure (default: all of Figs 4–17).
+
+    A shared ``executor`` makes overlapping figures nearly free: points
+    already simulated for an earlier figure come back from its memo/cache.
+    """
     ids = list(fig_ids) if fig_ids else sorted(ALL_FIGURES)
-    return [run_figure(fid, per_decade=per_decade) for fid in ids]
+    return [run_figure(fid, per_decade=per_decade, executor=executor)
+            for fid in ids]
 
 
 def format_report(reports: Sequence[FigureReport], plots: bool = True) -> str:

@@ -10,6 +10,11 @@ Subcommands::
     comb report  [--per-decade 2]
 
 All sizes are in the paper's KB (KiB); intervals are work-loop iterations.
+
+The sweep-heavy subcommands (``figures``, ``report``) accept ``--jobs N``
+to fan points out over a process pool and use an on-disk point cache under
+``.comb_cache/`` by default (``--no-cache`` disables it, ``--cache-dir``
+relocates it).  Results are bit-identical for every combination of flags.
 """
 
 from __future__ import annotations
@@ -21,7 +26,43 @@ from typing import List, Optional
 from .analysis import export_figures, format_report, render, run_all, run_figure
 from .baselines import run_netperf
 from .config import PRESETS, get_system
-from .core import CombSuite, PollingConfig, PwwConfig, run_polling, run_pww
+from .core import (
+    CombSuite,
+    PointCache,
+    PollingConfig,
+    PwwConfig,
+    SweepExecutor,
+    run_polling,
+    run_pww,
+)
+from .core.executor import DEFAULT_CACHE_DIR
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for sweep points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk point cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"point-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _make_executor(args: argparse.Namespace) -> SweepExecutor:
+    cache = None if args.no_cache else PointCache(args.cache_dir)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
 
 
 def _add_system(parser: argparse.ArgumentParser) -> None:
@@ -70,9 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="directory for CSV/JSON export")
     p.add_argument("--no-plots", action="store_true")
+    _add_executor_flags(p)
 
     p = sub.add_parser("report", help="full reproduction report with claims")
     p.add_argument("--per-decade", type=int, default=2)
+    _add_executor_flags(p)
 
     p = sub.add_parser(
         "compare", help="side-by-side system comparison table"
@@ -148,7 +191,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figures":
-        reports = run_all(per_decade=args.per_decade, fig_ids=args.ids)
+        with _make_executor(args) as executor:
+            reports = run_all(per_decade=args.per_decade, fig_ids=args.ids,
+                              executor=executor)
         if args.out:
             paths = export_figures([r.figure for r in reports], args.out)
             print(f"wrote {len(paths)} files to {args.out}")
@@ -216,7 +261,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        reports = run_all(per_decade=args.per_decade)
+        with _make_executor(args) as executor:
+            reports = run_all(per_decade=args.per_decade, executor=executor)
         print(format_report(reports))
         return 0 if all(r.ok for r in reports) else 1
 

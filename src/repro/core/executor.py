@@ -1,0 +1,401 @@
+"""Sweep execution layer: parallel point fan-out + persistent point cache.
+
+Every COMB figure is a parameter sweep whose points run on fresh,
+independent, deterministic worlds (see :mod:`repro.core.sweep`), so the
+suite's hot loop is embarrassingly parallel *and* perfectly memoizable.
+This module exploits both properties:
+
+* :class:`SweepExecutor` fans a list of :class:`PointTask` records out
+  over a spawn-safe :mod:`multiprocessing` pool (``jobs > 1``) or runs
+  them inline (``jobs=1``, the default).  Results are assembled in task
+  order, so the pool path is bit-identical to the serial path.
+* :class:`PointCache` is a content-addressed on-disk store: the key is a
+  stable SHA-256 over the full :class:`~repro.config.SystemConfig`, the
+  method config, the method kind, and a code-version salt hashed from the
+  simulator's source files.  Re-generating a figure only simulates points
+  the cache has never seen; editing any simulator source invalidates every
+  stale record automatically.
+* An in-process memo table (always on) deduplicates identical points
+  *within* a run — overlapping figures (e.g. Figs 4/5 share one polling
+  sweep; Figs 14–17 re-sweep the same grids) pay for each point once.
+
+Executor resolution is layered: an explicit ``executor=`` argument wins,
+then the innermost :func:`use_executor` context, then a lazily-created
+process-wide serial default.  Library code therefore never *needs* to
+know about executors, while drivers (CLI, ``reproduce_paper.py``) opt in
+to parallelism and persistence with two flags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import SystemConfig
+from .polling import PollingConfig, run_polling
+from .pww import PwwConfig, run_pww
+from .results import PollingPoint, PwwPoint
+
+#: Default location of the on-disk point cache (relative to the CWD).
+DEFAULT_CACHE_DIR = ".comb_cache"
+
+#: Bump to invalidate every existing cache record regardless of source
+#: hashing (e.g. when the *record format* below changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Method kind → (config type, runner, result type).
+_METHODS = {
+    "polling": (PollingConfig, run_polling, PollingPoint),
+    "pww": (PwwConfig, run_pww, PwwPoint),
+}
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One sweep point: a method kind bound to its full configuration.
+
+    Plain picklable data — safe to ship to a spawn-context worker.
+    """
+
+    kind: str
+    system: SystemConfig
+    cfg: Union[PollingConfig, PwwConfig]
+
+    def __post_init__(self):
+        if self.kind not in _METHODS:
+            raise ValueError(
+                f"unknown method kind {self.kind!r}; have {sorted(_METHODS)}"
+            )
+
+
+def run_task(task: PointTask):
+    """Execute one task on a fresh world (also the pool worker entry)."""
+    _cfg_type, runner, _pt_type = _METHODS[task.kind]
+    return runner(task.system, task.cfg)
+
+
+# --------------------------------------------------------------------- keys
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-ready form of a config value (stable across runs)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return value
+
+
+#: Simulator packages/modules whose source determines point values.  The
+#: analysis/plotting layers are deliberately excluded: they postprocess
+#: points but never influence them.
+_SALT_SOURCES = ("sim", "hardware", "transport", "os", "mpi", "core", "config.py")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of the simulator's source files (computed once per process).
+
+    Any edit to the DES kernel, hardware models, transports, MPI layer, or
+    the COMB methods changes the salt and therefore every cache key —
+    stale records can never be returned after a code change.
+    """
+    global _code_salt
+    if _code_salt is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.sha256()
+        for entry in _SALT_SOURCES:
+            path = root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for f in files:
+                h.update(str(f.relative_to(root)).encode())
+                h.update(f.read_bytes())
+        _code_salt = h.hexdigest()[:16]
+    return _code_salt
+
+
+def task_key(task: PointTask, salt: Optional[str] = None) -> str:
+    """Stable content hash of a task (the cache key)."""
+    doc = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "salt": salt if salt is not None else code_salt(),
+        "kind": task.kind,
+        "system": _jsonable(task.system),
+        "cfg": _jsonable(task.cfg),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -------------------------------------------------------------------- cache
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one executor lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PointCache:
+    """Content-addressed on-disk store of measurement points.
+
+    Layout: one JSON record per point under ``root``, named
+    ``<sha256>.json`` and sharded by the first two hex digits::
+
+        .comb_cache/ab/abcdef….json
+
+    Records carry the method kind and the full result dataclass; floats
+    survive the JSON round-trip exactly (shortest-repr doubles), so a
+    cache hit is bit-identical to a fresh simulation.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, kind: str):
+        """Return the stored point for ``key``, or ``None``."""
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if doc.get("kind") != kind:  # key collision across kinds: impossible,
+            return None  # but never deserialize into the wrong record type
+        _cfg_type, _runner, pt_type = _METHODS[kind]
+        try:
+            return pt_type(**doc["point"])
+        except (KeyError, TypeError):
+            return None  # record written by an incompatible version
+
+    def put(self, key: str, kind: str, point) -> None:
+        """Store ``point`` under ``key`` (atomic rename, racer-safe)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"kind": kind, "point": dataclasses.asdict(point)}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for f in self.root.rglob("*.json"):
+                f.unlink()
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.rglob("*.json")) if self.root.is_dir() else 0
+
+
+# ----------------------------------------------------------------- executor
+class SweepExecutor:
+    """Runs batches of independent sweep points, optionally in parallel
+    and optionally against a persistent cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs points inline — the
+        reference code path; ``N > 1`` fans cache misses out over a
+        spawn-context pool.  Both paths assemble results in task order,
+        so they are bit-identical.
+    cache:
+        ``None`` (default) disables the on-disk cache; a :class:`PointCache`
+        or a path enables it.
+    memoize:
+        Keep an in-process memo of completed points (default on).  Purely
+        an intra-run dedup: determinism makes it value-transparent.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[None, str, Path, PointCache] = None,
+        memoize: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, PointCache):
+            cache = PointCache(cache)
+        self.cache = cache
+        self.memoize = memoize
+        self.stats = CacheStats()
+        self._memo: Dict[str, Any] = {}
+        self._pool = None
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _get_pool(self, want: int):
+        """Lazily create (and reuse) the spawn-context worker pool."""
+        if self._pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(processes=min(self.jobs, max(want, 1)))
+        return self._pool
+
+    # ------------------------------------------------------------- execution
+    def run(self, tasks: Sequence[PointTask]) -> List[Any]:
+        """Run every task, returning points in task order.
+
+        Cache/memo hits are returned as fresh copies (no aliasing between
+        calls); misses are simulated — in parallel when ``jobs > 1`` —
+        and written back to the cache.
+        """
+        salt = code_salt()
+        results: List[Any] = [None] * len(tasks)
+        pending: List[Tuple[int, str, PointTask]] = []
+        first_for_key: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        for i, task in enumerate(tasks):
+            key = task_key(task, salt)
+            if key in first_for_key:
+                # Duplicate of a pending miss in this very batch: simulate
+                # once, copy after — and keep it out of the hit/miss stats
+                # so ``misses`` always equals the number of simulations.
+                duplicates.append((i, first_for_key[key]))
+                continue
+            point = self._lookup(key, task.kind)
+            if point is not None:
+                results[i] = point
+            else:
+                first_for_key[key] = i
+                pending.append((i, key, task))
+
+        if pending:
+            fresh = self._simulate([t for _i, _k, t in pending])
+            for (i, key, task), point in zip(pending, fresh):
+                results[i] = point
+                self._store(key, task.kind, point)
+        for i, j in duplicates:
+            results[i] = dataclasses.replace(results[j])
+        return results
+
+    def run_one(self, task: PointTask):
+        """Convenience wrapper: run a single task."""
+        return self.run([task])[0]
+
+    # -------------------------------------------------------------- plumbing
+    def _lookup(self, key: str, kind: str):
+        if self.memoize and key in self._memo:
+            self.stats.hits += 1
+            return dataclasses.replace(self._memo[key])
+        if self.cache is not None:
+            point = self.cache.get(key, kind)
+            if point is not None:
+                self.stats.hits += 1
+                if self.memoize:
+                    self._memo[key] = dataclasses.replace(point)
+                return point
+        self.stats.misses += 1
+        return None
+
+    def _store(self, key: str, kind: str, point) -> None:
+        if self.memoize:
+            self._memo[key] = dataclasses.replace(point)
+        if self.cache is not None:
+            self.cache.put(key, kind, point)
+
+    def _simulate(self, tasks: Sequence[PointTask]) -> List[Any]:
+        if self.jobs > 1 and len(tasks) > 1:
+            pool = self._get_pool(len(tasks))
+            # chunksize=1: tasks are coarse (whole simulations); dynamic
+            # dispatch balances wildly uneven point costs.  pool.map keeps
+            # result order == task order, preserving determinism.
+            return pool.map(run_task, tasks, chunksize=1)
+        return [run_task(t) for t in tasks]
+
+
+# --------------------------------------------------------- default resolution
+_default_executor: Optional[SweepExecutor] = None
+_active_stack: List[SweepExecutor] = []
+
+
+def default_executor() -> SweepExecutor:
+    """The process-wide serial executor (created on first use)."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor(jobs=1, cache=None)
+    return _default_executor
+
+
+def current_executor(explicit: Optional[SweepExecutor] = None) -> SweepExecutor:
+    """Resolve the executor for a sweep call.
+
+    Priority: explicit argument > innermost :func:`use_executor` context >
+    process-wide serial default.
+    """
+    if explicit is not None:
+        return explicit
+    if _active_stack:
+        return _active_stack[-1]
+    return default_executor()
+
+
+@contextmanager
+def use_executor(executor: Optional[SweepExecutor]):
+    """Make ``executor`` ambient for the dynamic extent of the block.
+
+    ``None`` is accepted (and is a no-op) so callers can write
+    ``with use_executor(maybe_executor):`` unconditionally.
+    """
+    if executor is None:
+        yield None
+        return
+    _active_stack.append(executor)
+    try:
+        yield executor
+    finally:
+        _active_stack.pop()

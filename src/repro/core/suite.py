@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..config import SystemConfig
+from .executor import PointTask, SweepExecutor, current_executor
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
 from .results import PollingPoint, PwwPoint, Series
@@ -63,19 +64,32 @@ class OffloadVerdict:
 
 
 class CombSuite:
-    """COMB bound to one system preset."""
+    """COMB bound to one system preset.
 
-    def __init__(self, system: SystemConfig):
+    An optional :class:`~repro.core.executor.SweepExecutor` parallelizes
+    and/or caches every measurement the suite runs; by default points run
+    serially through the ambient executor (see
+    :func:`~repro.core.executor.use_executor`).
+    """
+
+    def __init__(self, system: SystemConfig,
+                 executor: Optional[SweepExecutor] = None):
         self.system = system
+        self.executor = executor
+
+    def _executor(self) -> SweepExecutor:
+        return current_executor(self.executor)
 
     # -------------------------------------------------------- single points
     def polling(self, **kwargs) -> PollingPoint:
         """One polling-method point (kwargs feed :class:`PollingConfig`)."""
-        return run_polling(self.system, PollingConfig(**kwargs))
+        task = PointTask("polling", self.system, PollingConfig(**kwargs))
+        return self._executor().run_one(task)
 
     def pww(self, **kwargs) -> PwwPoint:
         """One PWW point (kwargs feed :class:`PwwConfig`)."""
-        return run_pww(self.system, PwwConfig(**kwargs))
+        task = PointTask("pww", self.system, PwwConfig(**kwargs))
+        return self._executor().run_one(task)
 
     # -------------------------------------------------------------- curves
     def polling_curve(
@@ -88,7 +102,8 @@ class CombSuite:
     ) -> Series:
         """Polling bandwidth/availability curve over a log interval grid."""
         return polling_sweep(
-            self.system, msg_bytes, log_intervals(lo, hi, per_decade), base=base
+            self.system, msg_bytes, log_intervals(lo, hi, per_decade),
+            base=base, executor=self.executor,
         )
 
     def pww_curve(
@@ -101,7 +116,8 @@ class CombSuite:
     ) -> Series:
         """PWW curve over a log work-interval grid."""
         return pww_sweep(
-            self.system, msg_bytes, log_intervals(lo, hi, per_decade), base=base
+            self.system, msg_bytes, log_intervals(lo, hi, per_decade),
+            base=base, executor=self.executor,
         )
 
     # ------------------------------------------------------------ analyses

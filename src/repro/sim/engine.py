@@ -29,6 +29,8 @@ class Engine:
         Optional :class:`repro.sim.trace.Tracer` receiving kernel events.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "trace")
+
     def __init__(self, start_time: float = 0.0, trace=None):
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
@@ -74,8 +76,9 @@ class Engine:
     # ------------------------------------------------------------- scheduling
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         """Insert a triggered event into the pending heap."""
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
@@ -109,8 +112,9 @@ class Engine:
         event._processed = True
         if self.trace is not None:
             self.trace.record_kernel(self._now, event)
-        for callback in callbacks:
-            callback(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event._defused:
             exc = event._value
             raise exc
@@ -140,19 +144,46 @@ class Engine:
                     f"run(until={stop_at}) is in the past (now={self._now})"
                 )
 
+        # The event loop below is :meth:`step` inlined (minus the defensive
+        # past-event check): this is the simulator's hottest code, and the
+        # method-call + heap-access overhead per event is measurable at
+        # production sweep scale.  Semantics are identical — keep the two
+        # in sync.
+        queue = self._queue
+        pop = heapq.heappop
         if stop_event is not None:
             while not stop_event._processed:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event fired (deadlock?)"
                     )
-                self.step()
+                when, _prio, _seq, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if self.trace is not None:
+                    self.trace.record_kernel(when, event)
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if stop_event._ok:
                 return stop_event._value
             raise stop_event._value
-        while self._queue and self._queue[0][0] <= stop_at:
-            self.step()
+        while queue and queue[0][0] <= stop_at:
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            if self.trace is not None:
+                self.trace.record_kernel(when, event)
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if stop_at != INFINITY:
             self._now = max(self._now, stop_at)
         return None

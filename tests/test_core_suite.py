@@ -33,6 +33,19 @@ class TestLogIntervals:
         with pytest.raises(ValueError):
             log_intervals(100, 10)
 
+    def test_per_decade_below_one_rejected(self):
+        with pytest.raises(ValueError, match="per_decade"):
+            log_intervals(10, 1e6, per_decade=0)
+        with pytest.raises(ValueError, match="per_decade"):
+            log_intervals(10, 1e6, per_decade=-3)
+
+    def test_dense_grid_keeps_endpoints_after_dedup(self):
+        # 50 points/decade over one decade collides heavily at the low end;
+        # the dedup must still keep both endpoints and strict monotonicity.
+        grid = log_intervals(10, 100, per_decade=50)
+        assert grid[0] == 10 and grid[-1] == 100
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
     def test_degenerate_single_decade(self):
         grid = log_intervals(100, 100, per_decade=2)
         assert grid == [100]

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Record one point of the suite's performance trajectory.
+
+Runs the coarse benchmark grid (the same figures the per-figure
+``benchmarks/bench_figNN`` targets regenerate, at 1 point/decade by
+default), times each figure, and appends a timestamped ``BENCH_<n>.json``
+to the output directory — ``<n>`` is one past the highest existing record,
+so the directory accumulates a perf trajectory across PRs::
+
+    python tools/bench_report.py                        # all figures, serial
+    python tools/bench_report.py --ids fig04 fig11 --jobs 2
+    python tools/bench_report.py --no-cache             # cold measurements
+
+Each record carries total wall time, per-figure wall time, executor cache
+hit rate, and the run's configuration, e.g.::
+
+    {
+      "timestamp": "2026-08-06T12:00:00+00:00",
+      "per_decade": 1, "jobs": 1,
+      "total_s": 9.31,
+      "figures": {"fig04": 1.52, ...},
+      "cache": {"hits": 0, "misses": 118, "hit_rate": 0.0},
+      "claims_ok": true
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import run_figure  # noqa: E402
+from repro.analysis.figures import ALL_FIGURES  # noqa: E402
+from repro.core import PointCache, SweepExecutor  # noqa: E402
+from repro.core.executor import DEFAULT_CACHE_DIR, code_salt  # noqa: E402
+
+DEFAULT_OUT_DIR = Path("results") / "bench"
+
+
+def next_record_path(out_dir: Path) -> Path:
+    """``BENCH_<n>.json`` with ``n`` = highest existing + 1 (1-based)."""
+    highest = 0
+    for f in out_dir.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", f.name)
+        if m:
+            highest = max(highest, int(m.group(1)))
+    return out_dir / f"BENCH_{highest + 1}.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ids", nargs="*", default=None,
+                        help="subset of figure ids (default: all)")
+    parser.add_argument("--per-decade", type=int, default=1,
+                        help="grid resolution (default: 1, the coarse grid)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep points")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk point cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="point-cache directory")
+    parser.add_argument("--out-dir", default=str(DEFAULT_OUT_DIR),
+                        help=f"trajectory directory (default: {DEFAULT_OUT_DIR})")
+    args = parser.parse_args()
+
+    ids = list(args.ids) if args.ids else sorted(ALL_FIGURES)
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figure ids: {unknown}; have {sorted(ALL_FIGURES)}")
+
+    cache = None if args.no_cache else PointCache(args.cache_dir)
+    per_figure: dict = {}
+    claims_ok = True
+    t_total = time.time()
+    with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+        for fig_id in ids:
+            t0 = time.time()
+            report = run_figure(fig_id, per_decade=args.per_decade,
+                                executor=executor)
+            per_figure[fig_id] = round(time.time() - t0, 4)
+            claims_ok = claims_ok and report.ok
+            print(f"{fig_id}: {per_figure[fig_id]:7.2f}s "
+                  f"({'ok' if report.ok else 'CLAIMS FAILED'})")
+        stats = executor.stats
+    total_s = time.time() - t_total
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "per_decade": args.per_decade,
+        "jobs": args.jobs,
+        "cache_enabled": cache is not None,
+        "code_salt": code_salt(),
+        "python": platform.python_version(),
+        "total_s": round(total_s, 4),
+        "figures": per_figure,
+        "cache": stats.to_dict(),
+        "claims_ok": claims_ok,
+    }
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = next_record_path(out_dir)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\ntotal {total_s:.2f}s, cache hit rate "
+          f"{stats.hit_rate:.0%} ({stats.hits}/{stats.lookups})")
+    print(f"wrote {path}")
+    return 0 if claims_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
