@@ -15,6 +15,12 @@ The sweep-heavy subcommands (``figures``, ``report``) accept ``--jobs N``
 to fan points out over a process pool and use an on-disk point cache under
 ``.comb_cache/`` by default (``--no-cache`` disables it, ``--cache-dir``
 relocates it).  Results are bit-identical for every combination of flags.
+
+``--check`` (on ``polling``, ``pww``, ``figures``, ``report``) runs the
+simulation sanitizer — runtime invariant checks over every simulated
+point (see :mod:`repro.verify`).  Output values are unchanged; the exit
+status is 1 if any invariant was violated.  Cached points are returned
+as-is (they were checked, or checkable, when first simulated).
 """
 
 from __future__ import annotations
@@ -58,11 +64,32 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"point-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    _add_check_flag(parser)
+
+
+def _add_check_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the simulation sanitizer (runtime invariant checks); "
+        "output is unchanged, exit status is 1 on any violation",
+    )
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     cache = None if args.no_cache else PointCache(args.cache_dir)
-    return SweepExecutor(jobs=args.jobs, cache=cache)
+    return SweepExecutor(jobs=args.jobs, cache=cache, check=args.check)
+
+
+def _report_violations(violations) -> int:
+    """Print a sanitizer verdict; return the process exit code."""
+    if not violations:
+        print("sanitizer: all invariants held (0 violations)")
+        return 0
+    print(f"sanitizer: {len(violations)} violation(s)", file=sys.stderr)
+    for v in violations:
+        print(f"  [{v.monitor}/{v.kind}] t={v.time:.9f} {v.detail}",
+              file=sys.stderr)
+    return 1
 
 
 def _add_system(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=int, default=10_000,
                    help="poll interval (loop iterations)")
     p.add_argument("--queue-depth", type=int, default=4)
+    _add_check_flag(p)
 
     p = sub.add_parser("pww", help="one post-work-wait measurement")
     _add_system(p)
@@ -93,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="work interval (loop iterations)")
     p.add_argument("--tests-in-work", type=int, default=0,
                    help="MPI_Test calls inserted early in the work phase")
+    _add_check_flag(p)
 
     p = sub.add_parser("offload", help="application-offload verdict (§4.1)")
     _add_system(p)
@@ -143,29 +172,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _maybe_sanitizer(check: bool):
+    """A fresh ambient sanitizer when ``check`` is set, else ``None``
+    (``use_sanitizer(None)`` is a no-op)."""
+    if not check:
+        return None
+    from .verify import Sanitizer
+
+    return Sanitizer()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
 
     if args.command == "polling":
-        pt = run_polling(get_system(args.system), PollingConfig(
-            msg_bytes=int(args.size * 1024),
-            poll_interval_iters=args.interval,
-            queue_depth=args.queue_depth,
-        ))
+        from .verify.context import use_sanitizer
+
+        sanitizer = _maybe_sanitizer(args.check)
+        with use_sanitizer(sanitizer):
+            pt = run_polling(get_system(args.system), PollingConfig(
+                msg_bytes=int(args.size * 1024),
+                poll_interval_iters=args.interval,
+                queue_depth=args.queue_depth,
+            ))
         print(f"{pt.system}: {pt.msg_bytes // 1024} KB, poll interval "
               f"{pt.poll_interval_iters} iters")
         print(f"  availability = {pt.availability:.3f}")
         print(f"  bandwidth    = {pt.bandwidth_MBps:.2f} MB/s")
         print(f"  messages     = {pt.msgs}, interrupts = {pt.interrupts}")
+        if sanitizer is not None:
+            return _report_violations(sanitizer.finalize())
         return 0
 
     if args.command == "pww":
-        pt = run_pww(get_system(args.system), PwwConfig(
-            msg_bytes=int(args.size * 1024),
-            work_interval_iters=args.interval,
-            tests_in_work=args.tests_in_work,
-        ))
+        from .verify.context import use_sanitizer
+
+        sanitizer = _maybe_sanitizer(args.check)
+        with use_sanitizer(sanitizer):
+            pt = run_pww(get_system(args.system), PwwConfig(
+                msg_bytes=int(args.size * 1024),
+                work_interval_iters=args.interval,
+                tests_in_work=args.tests_in_work,
+            ))
         print(f"{pt.system}: {pt.msg_bytes // 1024} KB, work interval "
               f"{pt.work_interval_iters} iters")
         print(f"  availability = {pt.availability:.3f}")
@@ -174,6 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  work  = {pt.work_s * 1e6:8.1f} us/batch "
               f"(dry {pt.work_dry_s * 1e6:.1f} us)")
         print(f"  wait  = {pt.wait_s * 1e6:8.1f} us/batch")
+        if sanitizer is not None:
+            return _report_violations(sanitizer.finalize())
         return 0
 
     if args.command == "offload":
@@ -203,6 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for c in rep.claims:
                 mark = "PASS" if c.ok else "FAIL"
                 print(f"  [{mark}] {c.claim} ({c.detail})")
+        if args.check:
+            return _report_violations(executor.violations)
         return 0
 
     if args.command == "compare":
@@ -264,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with _make_executor(args) as executor:
             reports = run_all(per_decade=args.per_decade, executor=executor)
         print(format_report(reports))
+        if args.check and _report_violations(executor.violations):
+            return 1
         return 0 if all(r.ok for r in reports) else 1
 
     raise AssertionError("unreachable")  # pragma: no cover

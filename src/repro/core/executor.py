@@ -82,6 +82,23 @@ def run_task(task: PointTask):
     return runner(task.system, task.cfg)
 
 
+def run_task_checked(task: PointTask):
+    """Execute one task under the simulation sanitizer.
+
+    Returns ``(point, violations)``.  Module-level (not a closure) so the
+    spawn pool can pickle it; :class:`~repro.verify.monitors.Violation` is
+    a frozen dataclass of primitives, so the report ships back intact.
+    The sanitizer only observes — the point is bit-identical to
+    :func:`run_task`'s.
+    """
+    from ..verify import Sanitizer, use_sanitizer
+
+    sanitizer = Sanitizer()
+    with use_sanitizer(sanitizer):
+        point = run_task(task)
+    return point, sanitizer.finalize()
+
+
 # --------------------------------------------------------------------- keys
 def _jsonable(value: Any) -> Any:
     """Canonical JSON-ready form of a config value (stable across runs)."""
@@ -186,19 +203,37 @@ class PointCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str, kind: str):
-        """Return the stored point for ``key``, or ``None``."""
+        """Return the stored point for ``key``, or ``None``.
+
+        Corrupt records — truncated writes, hand-edited garbage, or JSON
+        of the wrong shape — are treated as misses *and deleted*, so one
+        bad file costs one recompute instead of poisoning every future
+        lookup of its key.
+        """
         path = self._path(key)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             return None
-        if doc.get("kind") != kind:  # key collision across kinds: impossible,
-            return None  # but never deserialize into the wrong record type
-        _cfg_type, _runner, pt_type = _METHODS[kind]
         try:
+            doc = json.loads(text)
+            if not isinstance(doc, dict):
+                raise ValueError("record is not a JSON object")
+            if doc.get("kind") != kind:  # key collision across kinds:
+                return None  # impossible, but never mis-deserialize
+            _cfg_type, _runner, pt_type = _METHODS[kind]
             return pt_type(**doc["point"])
-        except (KeyError, TypeError):
-            return None  # record written by an incompatible version
+        except (ValueError, KeyError, TypeError):
+            self._evict_corrupt(path)
+            return None
+
+    @staticmethod
+    def _evict_corrupt(path: Path) -> None:
+        """Best-effort removal of an unreadable record."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing eviction is fine
+            pass
 
     def put(self, key: str, kind: str, point) -> None:
         """Store ``point`` under ``key`` (atomic rename, racer-safe)."""
@@ -240,6 +275,12 @@ class SweepExecutor:
     memoize:
         Keep an in-process memo of completed points (default on).  Purely
         an intra-run dedup: determinism makes it value-transparent.
+    check:
+        Run every simulated point under the simulation sanitizer
+        (:mod:`repro.verify`) and collect invariant violations into
+        :attr:`violations`.  Observation-only: checked points are
+        bit-identical to unchecked ones.  Off by default — the default
+        path never imports or touches the verify package.
     """
 
     def __init__(
@@ -247,6 +288,7 @@ class SweepExecutor:
         jobs: int = 1,
         cache: Union[None, str, Path, PointCache] = None,
         memoize: bool = True,
+        check: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -255,7 +297,10 @@ class SweepExecutor:
             cache = PointCache(cache)
         self.cache = cache
         self.memoize = memoize
+        self.check = check
         self.stats = CacheStats()
+        #: Violations collected from checked simulations (``check=True``).
+        self.violations: List[Any] = []
         self._memo: Dict[str, Any] = {}
         self._pool = None
 
@@ -349,13 +394,22 @@ class SweepExecutor:
             self.cache.put(key, kind, point)
 
     def _simulate(self, tasks: Sequence[PointTask]) -> List[Any]:
+        worker = run_task_checked if self.check else run_task
         if self.jobs > 1 and len(tasks) > 1:
             pool = self._get_pool(len(tasks))
             # chunksize=1: tasks are coarse (whole simulations); dynamic
             # dispatch balances wildly uneven point costs.  pool.map keeps
             # result order == task order, preserving determinism.
-            return pool.map(run_task, tasks, chunksize=1)
-        return [run_task(t) for t in tasks]
+            raw = pool.map(worker, tasks, chunksize=1)
+        else:
+            raw = [worker(t) for t in tasks]
+        if not self.check:
+            return raw
+        points = []
+        for point, violations in raw:
+            points.append(point)
+            self.violations.extend(violations)
+        return points
 
 
 # --------------------------------------------------------- default resolution

@@ -47,7 +47,7 @@ class Cluster:
             node.nic.uplink = self.switch.ingress
             self.switch.attach(nid, node.nic.deliver)
             if loss > 0.0:
-                self.switch._out[nid].set_loss(
+                self.switch.out_link(nid).set_loss(
                     loss, self.rng.stream(f"loss.link{nid}")
                 )
             self.nodes.append(node)

@@ -174,6 +174,11 @@ class NIC:
         self.rx_packets += 1
         if self.rx_handler is None:
             raise RuntimeError(f"{self.name}: no transport attached")
+        if self.tracer is not None:
+            # One record per *delivery attempt*: the conservation monitor
+            # counts these to catch duplicated packets.
+            self.tracer.record(self.engine.now, self.name, "nic_rx",
+                               (packet.kind.value, packet.msg_id, packet.index))
         if packet.kind is PacketKind.DATA:
             ev = self.host_bus.transfer(
                 packet.wire_bytes(self.config.header_bytes), packet

@@ -60,6 +60,10 @@ class Switch:
         link.deliver = deliver
         self._out[node_id] = link
 
+    def out_link(self, node_id: int) -> Link:
+        """The output link towards ``node_id`` (fault-injection seam)."""
+        return self._out[node_id]
+
     def ingress(self, packet: Packet) -> None:
         """A packet arriving from some node's uplink; forward it."""
         try:

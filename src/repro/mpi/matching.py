@@ -31,10 +31,17 @@ def envelopes_match(want_src: int, want_tag: int, env: Envelope) -> bool:
 
 
 class PostedQueue:
-    """Receives posted and not yet matched, in post order."""
+    """Receives posted and not yet matched, in post order.
+
+    ``observer``, when set, is called as ``observer(op, handle)`` for each
+    mutation (``op`` one of ``"post"``/``"match"``/``"remove"``) — the
+    sanitizer's seam for matching-list invariants.  It is ``None`` by
+    default, so uninstrumented runs pay one ``is not None`` test per op.
+    """
 
     def __init__(self) -> None:
         self._entries: List[Tuple[int, int, Any]] = []
+        self.observer: Optional[Callable[[str, Any], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -42,12 +49,16 @@ class PostedQueue:
     def post(self, src: int, tag: int, handle: Any) -> None:
         """Append a posted receive."""
         self._entries.append((src, tag, handle))
+        if self.observer is not None:
+            self.observer("post", handle)
 
     def match(self, env: Envelope) -> Optional[Any]:
         """Pop and return the first posted receive accepting ``env``."""
         for i, (src, tag, handle) in enumerate(self._entries):
             if envelopes_match(src, tag, env):
                 del self._entries[i]
+                if self.observer is not None:
+                    self.observer("match", handle)
                 return handle
         return None
 
@@ -56,6 +67,8 @@ class PostedQueue:
         for i, (_src, _tag, h) in enumerate(self._entries):
             if h is handle:
                 del self._entries[i]
+                if self.observer is not None:
+                    self.observer("remove", handle)
                 return True
         return False
 
@@ -65,10 +78,15 @@ class PostedQueue:
 
 
 class UnexpectedQueue:
-    """Messages that arrived before a matching receive was posted."""
+    """Messages that arrived before a matching receive was posted.
+
+    Like :class:`PostedQueue`, an optional ``observer`` sees each mutation
+    (``"add"``/``"match"`` with the arrival record).
+    """
 
     def __init__(self) -> None:
         self._records: List[Any] = []
+        self.observer: Optional[Callable[[str, Any], None]] = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -76,12 +94,16 @@ class UnexpectedQueue:
     def add(self, record: Any) -> None:
         """Append an arrival record (records expose ``.envelope``)."""
         self._records.append(record)
+        if self.observer is not None:
+            self.observer("add", record)
 
     def match(self, src: int, tag: int) -> Optional[Any]:
         """Pop and return the oldest record a receive (src, tag) accepts."""
         for i, rec in enumerate(self._records):
             if envelopes_match(src, tag, rec.envelope):
                 del self._records[i]
+                if self.observer is not None:
+                    self.observer("match", rec)
                 return rec
         return None
 

@@ -76,10 +76,20 @@ class Request:
         #: wildcards); ``None`` until complete.
         self.match_src: Optional[int] = None
         self.match_tag: Optional[int] = None
+        trace = engine.trace
+        if trace is not None:
+            trace.record(engine.now, "mpi.req", "req_post",
+                         (self.req_id, kind.value, peer, tag, nbytes))
 
     def complete(self, src: Optional[int] = None, tag: Optional[int] = None) -> None:
         """Mark locally complete; fires the completion event and the owning
         device's wakeup signal."""
+        trace = self.engine.trace
+        if trace is not None:
+            # Emitted before the double-completion guard so an attached
+            # sanitizer can log the illegal transition the guard rejects.
+            trace.record(self.engine.now, "mpi.req", "req_complete",
+                         (self.req_id, self.kind.value))
         if self.done:
             raise RuntimeError(f"request {self.req_id} completed twice")
         self.done = True

@@ -67,7 +67,20 @@ def build_world(
     n_nodes: int = 2,
     tracer: Optional[Tracer] = None,
 ) -> World:
-    """Build a fresh deterministic world: rank *i* lives on node *i*."""
+    """Build a fresh deterministic world: rank *i* lives on node *i*.
+
+    If no explicit ``tracer`` is given and a sanitizer is ambient (see
+    :func:`repro.verify.use_sanitizer`), its dispatch-only tracer is
+    attached and the sanitizer is installed on the built world, so runs
+    inside a ``use_sanitizer`` block are invariant-checked transparently.
+    """
+    sanitizer = None
+    if tracer is None:
+        from ..verify.context import current_sanitizer
+
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            tracer = sanitizer.tracer
     engine = Engine(trace=tracer)
     cluster = Cluster(engine, system, n_nodes=n_nodes, tracer=tracer)
     devices = [
@@ -79,4 +92,7 @@ def build_world(
     endpoints = [
         Endpoint(engine, dev, rank, n_nodes) for rank, dev in enumerate(devices)
     ]
-    return World(engine, system, cluster, endpoints, tracer)
+    world = World(engine, system, cluster, endpoints, tracer)
+    if sanitizer is not None:
+        sanitizer.install(world)
+    return world

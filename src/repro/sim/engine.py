@@ -76,6 +76,11 @@ class Engine:
     # ------------------------------------------------------------- scheduling
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         """Insert a triggered event into the pending heap."""
+        if delay < 0.0 and self.trace is not None:
+            # Scheduling in the past is a causality corruption the sanitizer
+            # must see at the source; the float compare keeps the untraced
+            # hot path free of any extra work.
+            self.trace.record(self._now, "engine", "schedule_past", (delay,))
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._queue, (self._now + delay, priority, seq, event))

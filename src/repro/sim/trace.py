@@ -3,6 +3,13 @@
 Tracing is opt-in: the engine and hardware models call ``record*`` methods
 only when a tracer is attached.  Records are plain tuples, cheap to emit and
 easy to assert on in tests.
+
+The tracer is also the simulator's *sanitizer seam*: the runtime
+invariant checker (:mod:`repro.verify`) attaches a storage-free
+:class:`Tracer` subclass that dispatches each record to invariant
+monitors instead of accumulating it.  Subclasses may override
+:meth:`Tracer.record` and :meth:`Tracer.record_kernel` freely — emitters
+only rely on the call signatures.
 """
 
 from __future__ import annotations
@@ -62,6 +69,13 @@ class Tracer:
     def of_kind(self, kind: str) -> List[TraceRecord]:
         """All records with the given kind, in emission order."""
         return [r for r in self.records if r.kind == kind]
+
+    def counts(self) -> dict:
+        """Record count per kind (insertion-ordered)."""
+        out: dict = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
 
     def clear(self) -> None:
         """Drop all collected records."""

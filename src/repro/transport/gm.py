@@ -119,6 +119,11 @@ class GmDevice(Device):
             )
             if tokens > 0:
                 self._eager_tokens[dest_node] = tokens - 1
+                if self.engine.trace is not None:
+                    self.engine.trace.record(
+                        self.engine.now, f"rank{self.rank}.gm", "gm_tokens",
+                        (dest_node, tokens - 1, gm.eager_tokens),
+                    )
                 self.node.nic.submit(job)
             else:
                 # Receiver bounce buffers exhausted: the library queues the
@@ -265,6 +270,11 @@ class GmDevice(Device):
             self.node.nic.submit(backlog.popleft())
             tokens -= 1
         self._eager_tokens[src_node] = tokens
+        if self.engine.trace is not None:
+            self.engine.trace.record(
+                self.engine.now, f"rank{self.rank}.gm", "gm_tokens",
+                (src_node, tokens, self.params.eager_tokens),
+            )
 
     # ---------------------------------------------------------------- NIC rx
     def nic_rx(self, pkt: Packet) -> None:

@@ -384,6 +384,11 @@ class PortalsDevice(Device):
 
     def _rts_commit(self, pkt: Packet) -> None:
         """Kernel handler body for a long message's header."""
+        if self.engine.trace is not None:
+            self.engine.trace.record(
+                self.engine.now, f"rank{self.rank}.portals", "rts_rx",
+                (pkt.msg_id,),
+            )
         self.admission.offer(HeadRecord(pkt.envelope, pkt.msg_id, True))
 
     def _get_commit(self, pkt: Packet) -> None:
@@ -398,6 +403,11 @@ class PortalsDevice(Device):
 
     def _issue_get(self, rec_or_head) -> None:
         """Send a GET (wire kind CTS) asking the sender to stream the data."""
+        if self.engine.trace is not None:
+            self.engine.trace.record(
+                self.engine.now, f"rank{self.rank}.portals", "get_issued",
+                (rec_or_head.msg_id,),
+            )
         src_node = self.node_of(rec_or_head.envelope.src_rank)
         get = control_packet(
             PacketKind.CTS, self.node.node_id, src_node, rec_or_head.msg_id,

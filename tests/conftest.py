@@ -1,10 +1,31 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Hypothesis runs under one of two named profiles, selected by the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``dev`` (default) — few examples, fast local iteration;
+* ``ci`` — derandomized (no flaky reruns), more examples, no deadline
+  (shared CI runners have noisy wall clocks).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config import gm_system, portals_system, tcp_system
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 @pytest.fixture
 def gm():

@@ -178,6 +178,47 @@ class TestPointCache:
         assert ex2.stats.misses == len(GRID)
         assert again.points == _poll(None).points
 
+    @pytest.mark.parametrize("garbage", [
+        "",                                  # zero-length (crashed writer)
+        '{"kind": "polling", "point": {',    # truncated mid-record
+        "[1, 2, 3]",                         # valid JSON, wrong shape
+        '{"kind": "polling"}',               # record missing its point
+        '{"kind": "polling", "point": {"bogus_field": 1}}',
+        "\x00\x01\x02 binary trash",
+    ])
+    def test_garbage_record_evicted_then_recomputed(self, tmp_path, garbage):
+        """A bad cache file costs one recompute, then heals itself."""
+        cache = PointCache(tmp_path)
+        _poll(SweepExecutor(jobs=1, cache=cache))
+        files = sorted(Path(tmp_path).rglob("*.json"))
+        assert len(files) == len(GRID)
+        victim = files[0]
+        victim.write_text(garbage)
+        ex = SweepExecutor(jobs=1, cache=PointCache(tmp_path))
+        again = _poll(ex)
+        # Exactly the corrupted record misses; the rest still hit.
+        assert ex.stats.misses == 1 and ex.stats.hits == len(GRID) - 1
+        assert again.points == _poll(None).points
+        # The garbage was evicted and the slot rewritten with a good record.
+        rewritten = json.loads(victim.read_text())
+        assert rewritten["kind"] == "polling"
+        ex3 = SweepExecutor(jobs=1, cache=PointCache(tmp_path))
+        _poll(ex3)
+        assert ex3.stats.misses == 0
+
+    def test_wrong_kind_record_not_evicted(self, tmp_path):
+        """A kind mismatch is a miss but NOT corruption: the record is
+        intact and must survive for its own kind's lookups."""
+        cache = PointCache(tmp_path)
+        ex = SweepExecutor(jobs=1, cache=cache)
+        series = _poll(ex)
+        key = task_key(PointTask("polling", gm_system(),
+                                 dataclasses.replace(
+                                     POLL_BASE, msg_bytes=50 * KB,
+                                     poll_interval_iters=GRID[0])))
+        assert cache.get(key, "pww") is None
+        assert cache.get(key, "polling") == series.points[0]
+
     def test_len_and_clear(self, tmp_path):
         cache = PointCache(tmp_path)
         assert len(cache) == 0
@@ -309,3 +350,16 @@ class TestCliFlags:
                    "--no-plots", "--no-cache"])
         assert rc == 0
         assert not (tmp_path / ".comb_cache").exists()
+
+    def test_figures_check_flag_clean(self, capsys, tmp_path):
+        rc = main(["figures", "--ids", "fig13", "--per-decade", "1",
+                   "--no-plots", "--no-cache", "--check",
+                   "--cache-dir", str(tmp_path / "unused")])
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_polling_check_flag_clean(self, capsys):
+        rc = main(["polling", "--system", "GM", "--size", "50",
+                   "--interval", "1000", "--check"])
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out

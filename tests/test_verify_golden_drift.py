@@ -1,0 +1,106 @@
+"""Golden-drift regression: the sanitizer is observation-only.
+
+``SweepExecutor(check=True)`` must produce the *same bits* as the
+unchecked path.  The strongest witness we have is the golden value set:
+``tests/golden_values.json`` was recorded without the sanitizer, so exact
+equality under ``check=True`` proves the sanitizer changed nothing — and
+the same runs must report zero violations (the clean-suite guarantee at
+the executor level).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import gm_system, portals_system
+from repro.core import PointTask, PollingConfig, PwwConfig, SweepExecutor
+
+KB = 1024
+GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
+
+#: The fig04 (polling) and fig11 (PWW) canonical points, as recorded.
+POLL_CFG = PollingConfig(msg_bytes=100 * KB, poll_interval_iters=1_000,
+                         measure_s=0.02, warmup_s=0.004)
+PWW_CFG = PwwConfig(msg_bytes=100 * KB, work_interval_iters=100_000,
+                    batches=6, warmup_batches=2)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def checked():
+    """All four golden sweep points simulated under check=True, once."""
+    tasks = [
+        PointTask("polling", gm_system(), POLL_CFG),
+        PointTask("pww", gm_system(), PWW_CFG),
+        PointTask("polling", portals_system(), POLL_CFG),
+        PointTask("pww", portals_system(), PWW_CFG),
+    ]
+    with SweepExecutor(jobs=1, check=True) as ex:
+        points = ex.run(tasks)
+    return points, ex.violations
+
+
+def test_zero_violations_on_golden_points(checked):
+    _points, violations = checked
+    assert violations == [], violations
+
+
+@pytest.mark.parametrize("index,key", [
+    (0, "GM.polling.100KB.1e3"),
+    (2, "Portals.polling.100KB.1e3"),
+])
+def test_polling_bit_identical_under_check(checked, golden, index, key):
+    pt = checked[0][index]
+    want = golden[key]
+    assert pt.availability == want["availability"]
+    assert pt.bandwidth_Bps == want["bandwidth_Bps"]
+    assert pt.msgs == want["msgs"]
+    assert pt.interrupts == want["interrupts"]
+
+
+@pytest.mark.parametrize("index,key", [
+    (1, "GM.pww.100KB.1e5"),
+    (3, "Portals.pww.100KB.1e5"),
+])
+def test_pww_bit_identical_under_check(checked, golden, index, key):
+    pt = checked[0][index]
+    want = golden[key]
+    assert pt.availability == want["availability"]
+    assert pt.bandwidth_Bps == want["bandwidth_Bps"]
+    assert (pt.post_s, pt.work_s, pt.wait_s) == (
+        want["post_s"], want["work_s"], want["wait_s"])
+
+
+def test_checked_equals_unchecked_directly():
+    """Fast head-to-head on a small config: check=True vs check=False."""
+    cfg = PollingConfig(msg_bytes=50 * KB, poll_interval_iters=1_000,
+                        measure_s=0.005, warmup_s=0.002, min_cycles=2)
+    tasks = [PointTask("polling", gm_system(), cfg)]
+    plain = SweepExecutor(jobs=1).run(tasks)
+    with SweepExecutor(jobs=1, check=True) as ex:
+        checked_pts = ex.run(tasks)
+        assert ex.violations == []
+    assert checked_pts == plain
+
+
+def test_pool_checked_equals_serial_checked():
+    """Violations and points both survive the spawn pool."""
+    cfg = PollingConfig(msg_bytes=50 * KB, poll_interval_iters=1_000,
+                        measure_s=0.005, warmup_s=0.002, min_cycles=2)
+    tasks = [
+        PointTask("polling", gm_system(), cfg),
+        PointTask("polling", portals_system(), cfg),
+    ]
+    with SweepExecutor(jobs=1, check=True) as serial:
+        serial_pts = serial.run(tasks)
+    with SweepExecutor(jobs=2, check=True) as pooled:
+        pooled_pts = pooled.run(tasks)
+        assert pooled.violations == []
+    assert pooled_pts == serial_pts
