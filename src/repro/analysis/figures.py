@@ -80,10 +80,10 @@ def _poll_curves(
 ) -> List[Curve]:
     grid = log_intervals(lo, hi, per_decade)
     curves = []
-    for size in sizes:
-        series = polling_sweep(system, size, grid, executor=executor)
+    for size_bytes in sizes:
+        series = polling_sweep(system, size_bytes, grid, executor=executor)
         curves.append(
-            Curve(_size_label(size), series.xs(x_attr), series.xs(y_attr))
+            Curve(_size_label(size_bytes), series.xs(x_attr), series.xs(y_attr))
         )
     return curves
 
@@ -100,10 +100,10 @@ def _pww_curves(
 ) -> List[Curve]:
     grid = log_intervals(lo, hi, per_decade)
     curves = []
-    for size in sizes:
-        series = pww_sweep(system, size, grid, executor=executor)
+    for size_bytes in sizes:
+        series = pww_sweep(system, size_bytes, grid, executor=executor)
         curves.append(
-            Curve(_size_label(size), series.xs(x_attr), series.xs(y_attr))
+            Curve(_size_label(size_bytes), series.xs(x_attr), series.xs(y_attr))
         )
     return curves
 
@@ -286,10 +286,10 @@ def _bw_vs_avail(system: SystemConfig, sizes: Sequence[int],
                  executor: Optional[SweepExecutor] = None) -> List[Curve]:
     grid = log_intervals(1e1, 1e8, per_decade)
     curves = []
-    for size in sizes:
-        series = polling_sweep(system, size, grid, executor=executor)
+    for size_bytes in sizes:
+        series = polling_sweep(system, size_bytes, grid, executor=executor)
         curves.append(Curve(
-            _size_label(size),
+            _size_label(size_bytes),
             series.xs("availability"),
             series.xs("bandwidth_MBps"),
         ))

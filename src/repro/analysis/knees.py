@@ -5,8 +5,8 @@ which all in-flight messages complete within one interval, so bandwidth
 collapses and availability climbs.  The pipeline model predicts its
 location:
 
-    t_knee ≈ (2 · queue_depth · msg_bytes) / plateau_bandwidth
-    knee_iters = t_knee / work_iter_s
+    t_knee_s ≈ (2 · queue_depth · msg_bytes) / plateau_bandwidth
+    knee_iters = t_knee_s / work_iter_s
 
 This module measures knees from swept curves and compares them with that
 prediction — a quantitative check that the simulator's knees *emerge* from
@@ -85,8 +85,8 @@ def measure_knee(
     ys = series.xs("bandwidth_Bps")
     plateau_vals = sorted(ys[: max(2, len(ys) // 3)])
     plateau = plateau_vals[len(plateau_vals) // 2]
-    t_knee = 2 * base.queue_depth * msg_bytes / plateau
-    predicted = t_knee / system.machine.cpu.work_iter_s
+    t_knee_s = 2 * base.queue_depth * msg_bytes / plateau
+    predicted = t_knee_s / system.machine.cpu.work_iter_s
     return Knee(
         system=system.name,
         msg_bytes=msg_bytes,

@@ -62,13 +62,13 @@ HEADERS = [
 def summarize_system(
     system: SystemConfig,
     msg_bytes: int = 100 * 1024,
-    plateau_interval: int = 1_000,
+    plateau_interval_iters: int = 1_000,
 ) -> SystemSummary:
     """Compute one comparison row (a handful of short runs)."""
     suite = CombSuite(system)
-    ping = run_pingpong(system, 0, repeats=8, warmup=2)
+    ping = run_pingpong(system, 0, repeats=8, warmup_msgs=2)
     plateau = run_polling(system, PollingConfig(
-        msg_bytes=msg_bytes, poll_interval_iters=plateau_interval,
+        msg_bytes=msg_bytes, poll_interval_iters=plateau_interval_iters,
         measure_s=0.04,
     ))
     verdict = suite.offload_verdict(msg_bytes=msg_bytes)

@@ -38,11 +38,11 @@ def run_pingpong(
     system: SystemConfig,
     msg_bytes: int,
     repeats: int = 20,
-    warmup: int = 3,
+    warmup_msgs: int = 3,
 ) -> PingPongResult:
-    """Measure mean half-RTT over ``repeats`` exchanges (after warmup)."""
-    if repeats < 1 or warmup < 0:
-        raise ValueError("repeats >= 1 and warmup >= 0 required")
+    """Measure mean half-RTT over ``repeats`` exchanges (after warmup_msgs)."""
+    if repeats < 1 or warmup_msgs < 0:
+        raise ValueError("repeats >= 1 and warmup_msgs >= 0 required")
     world = build_world(system)
     engine = world.engine
     ctx0 = world.cluster[0].new_context("pingpong.initiator")
@@ -52,7 +52,7 @@ def run_pingpong(
     out = {}
 
     def initiator():
-        for _ in range(warmup):
+        for _ in range(warmup_msgs):
             yield from h0.send(1, msg_bytes, tag=1)
             yield from h0.recv(1, msg_bytes, tag=2)
         t0 = engine.now
@@ -62,7 +62,7 @@ def run_pingpong(
         out["rtt"] = (engine.now - t0) / repeats
 
     def echo():
-        for _ in range(warmup + repeats):
+        for _ in range(warmup_msgs + repeats):
             yield from h1.recv(0, msg_bytes, tag=1)
             yield from h1.send(0, msg_bytes, tag=2)
 

@@ -32,7 +32,7 @@ class OverlapClassification:
     t_work_s: float
     #: Measured post+work+wait cycle with both running.
     t_both_s: float
-    #: ``(t_comm + t_work - t_both) / min(t_comm, t_work)`` — 1 means full
+    #: ``(t_comm_s + t_work_s - t_both_s) / min(t_comm_s, t_work_s)`` — 1 means full
     #: overlap, 0 means full serialization.
     overlap_fraction: float
     #: The binary verdict White & Bova would report.
@@ -49,23 +49,23 @@ def classify_overlap(
     comm = run_pww(
         system, PwwConfig(msg_bytes=msg_bytes, work_interval_iters=0)
     )
-    t_comm = comm.post_s + comm.wait_s
+    t_comm_s = comm.post_s + comm.wait_s
     # Pick a work interval close to the communication time.
     iter_s = system.machine.cpu.work_iter_s
-    work_iters = max(1, int(t_comm / iter_s))
-    t_work = work_time(system, work_iters)
+    work_iters = max(1, int(t_comm_s / iter_s))
+    t_work_s = work_time(system, work_iters)
     both = run_pww(
         system, PwwConfig(msg_bytes=msg_bytes, work_interval_iters=work_iters)
     )
-    t_both = both.post_s + both.work_s + both.wait_s
-    denom = min(t_comm, t_work)
-    frac = (t_comm + t_work - t_both) / denom if denom > 0 else 0.0
+    t_both_s = both.post_s + both.work_s + both.wait_s
+    denom = min(t_comm_s, t_work_s)
+    frac = (t_comm_s + t_work_s - t_both_s) / denom if denom > 0 else 0.0
     return OverlapClassification(
         system=system.name,
         msg_bytes=msg_bytes,
-        t_comm_s=t_comm,
-        t_work_s=t_work,
-        t_both_s=t_both,
+        t_comm_s=t_comm_s,
+        t_work_s=t_work_s,
+        t_both_s=t_both_s,
         overlap_fraction=frac,
         overlaps=frac >= threshold,
     )

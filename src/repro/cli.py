@@ -169,6 +169,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=float, default=100, help="message size (KB)")
     p.add_argument("--interval", type=int, default=1_000,
                    help="poll interval (loop iterations)")
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism/units/cache-key checks (comb-lint)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format")
+    p.add_argument("--baseline", default="tools/lint_baseline.json",
+                   help="grandfathered-violation baseline file")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline file (report everything)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="rewrite the baseline to grandfather every "
+                   "current violation (DET/CACHE rules excluded)")
+    p.add_argument("--select", nargs="*", default=None, metavar="RULE",
+                   help="restrict to these rule ids")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
     return parser
 
 
@@ -180,6 +200,52 @@ def _maybe_sanitizer(check: bool):
     from .verify import Sanitizer
 
     return Sanitizer()
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """``comb lint``: run the static analyzer and gate on new violations."""
+    from .lint import (
+        Baseline,
+        NEVER_BASELINE_PREFIXES,
+        format_json,
+        format_rule_list,
+        format_text,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        print(format_rule_list())
+        return 0
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+        forbidden = baseline.forbidden_entries()
+        if forbidden:
+            rules = sorted({str(e.get("rule")) for e in forbidden})
+            print(
+                f"error: baseline {args.baseline} grandfathers "
+                f"{'/'.join(rules)} violations; the "
+                f"{'/'.join(NEVER_BASELINE_PREFIXES)} rule families must "
+                "be fixed, never baselined",
+                file=sys.stderr,
+            )
+            return 2
+    select = set(args.select) if args.select else None
+    report = lint_paths(args.paths, baseline=baseline, select=select)
+    if args.write_baseline:
+        keep = [
+            v for v in report.all_found()
+            if not v.rule.startswith(NEVER_BASELINE_PREFIXES)
+        ]
+        Baseline.from_violations(keep).save(args.baseline)
+        dropped = len(report.all_found()) - len(keep)
+        print(f"wrote {len(keep)} baseline entrie(s) to {args.baseline}"
+              + (f" ({dropped} DET/CACHE violation(s) NOT grandfathered — "
+                 "fix them)" if dropped else ""))
+        return 1 if dropped else 0
+    print(format_json(report) if args.format == "json"
+          else format_text(report))
+    return report.exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -312,6 +378,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"kernel={snap['kernel_s'] / el:.3f} "
                   f"idle={snap['idle_s'] / el:.3f}\n")
         return 0
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.command == "report":
         with _make_executor(args) as executor:

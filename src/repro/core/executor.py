@@ -32,17 +32,21 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.pool
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
 from .results import PollingPoint, PwwPoint
+
+#: Any method's per-point result record.
+Point = Union[PollingPoint, PwwPoint]
 
 #: Default location of the on-disk point cache (relative to the CWD).
 DEFAULT_CACHE_DIR = ".comb_cache"
@@ -69,20 +73,20 @@ class PointTask:
     system: SystemConfig
     cfg: Union[PollingConfig, PwwConfig]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in _METHODS:
             raise ValueError(
                 f"unknown method kind {self.kind!r}; have {sorted(_METHODS)}"
             )
 
 
-def run_task(task: PointTask):
+def run_task(task: PointTask) -> Point:
     """Execute one task on a fresh world (also the pool worker entry)."""
     _cfg_type, runner, _pt_type = _METHODS[task.kind]
     return runner(task.system, task.cfg)
 
 
-def run_task_checked(task: PointTask):
+def run_task_checked(task: PointTask) -> Tuple[Point, List[Any]]:
     """Execute one task under the simulation sanitizer.
 
     Returns ``(point, violations)``.  Module-level (not a closure) so the
@@ -196,13 +200,13 @@ class PointCache:
     cache hit is bit-identical to a fresh simulation.
     """
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str, kind: str):
+    def get(self, key: str, kind: str) -> Optional[Point]:
         """Return the stored point for ``key``, or ``None``.
 
         Corrupt records — truncated writes, hand-edited garbage, or JSON
@@ -235,7 +239,7 @@ class PointCache:
         except OSError:  # pragma: no cover - racing eviction is fine
             pass
 
-    def put(self, key: str, kind: str, point) -> None:
+    def put(self, key: str, kind: str, point: Point) -> None:
         """Store ``point`` under ``key`` (atomic rename, racer-safe)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -289,7 +293,7 @@ class SweepExecutor:
         cache: Union[None, str, Path, PointCache] = None,
         memoize: bool = True,
         check: bool = False,
-    ):
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -302,7 +306,7 @@ class SweepExecutor:
         #: Violations collected from checked simulations (``check=True``).
         self.violations: List[Any] = []
         self._memo: Dict[str, Any] = {}
-        self._pool = None
+        self._pool: Optional[multiprocessing.pool.Pool] = None
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -315,16 +319,16 @@ class SweepExecutor:
     def __enter__(self) -> "SweepExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC safety net
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
         except Exception:
             pass
 
-    def _get_pool(self, want: int):
+    def _get_pool(self, want: int) -> multiprocessing.pool.Pool:
         """Lazily create (and reuse) the spawn-context worker pool."""
         if self._pool is None:
             ctx = multiprocessing.get_context("spawn")
@@ -368,12 +372,12 @@ class SweepExecutor:
             results[i] = dataclasses.replace(results[j])
         return results
 
-    def run_one(self, task: PointTask):
+    def run_one(self, task: PointTask) -> Point:
         """Convenience wrapper: run a single task."""
         return self.run([task])[0]
 
     # -------------------------------------------------------------- plumbing
-    def _lookup(self, key: str, kind: str):
+    def _lookup(self, key: str, kind: str) -> Optional[Point]:
         if self.memoize and key in self._memo:
             self.stats.hits += 1
             return dataclasses.replace(self._memo[key])
@@ -387,7 +391,7 @@ class SweepExecutor:
         self.stats.misses += 1
         return None
 
-    def _store(self, key: str, kind: str, point) -> None:
+    def _store(self, key: str, kind: str, point: Point) -> None:
         if self.memoize:
             self._memo[key] = dataclasses.replace(point)
         if self.cache is not None:
@@ -439,7 +443,7 @@ def current_executor(explicit: Optional[SweepExecutor] = None) -> SweepExecutor:
 
 
 @contextmanager
-def use_executor(executor: Optional[SweepExecutor]):
+def use_executor(executor: Optional[SweepExecutor]) -> Iterator[Optional[SweepExecutor]]:
     """Make ``executor`` ambient for the dynamic extent of the block.
 
     ``None`` is accepted (and is a no-op) so callers can write

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..config import SystemConfig
+from ..mpi.request import Request
 from ..mpi.world import World, build_world
 from ..sim.units import msec
 from .results import PollingPoint
@@ -78,7 +79,9 @@ def run_polling(system: SystemConfig, cfg: PollingConfig) -> PollingPoint:
     return state.result
 
 
-def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
+def _worker(
+    world: World, cfg: PollingConfig, state: _WorkerState
+) -> Iterator[object]:
     engine = world.engine
     system = world.system
     node = world.cluster[0]
@@ -95,7 +98,7 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
     cycle_s = work_s + empty_poll_s
 
     # ------------------------------------------------------------- pipeline
-    recv_reqs = []
+    recv_reqs: List[Request] = []
     for _ in range(cfg.queue_depth):
         r = yield from h.irecv(src=1, nbytes=cfg.msg_bytes, tag=COMB_TAG)
         recv_reqs.append(r)
@@ -106,13 +109,13 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
     iters_done = 0.0
     polls = 0
     measuring = False
-    t_start = 0.0
+    t_start_s = 0.0
     iters_start = 0.0
     polls_start = 0
     stats_start = None
     irq_start = 0
     warmup_end = engine.now + max(cfg.warmup_s, 3 * cycle_s)
-    t_end = float("inf")
+    t_end_s = float("inf")
 
     while True:
         # One work interval then a completion test (Fig 1's inner loop +
@@ -133,7 +136,7 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
             # empty poll cycles, then land exactly on a cycle boundary.
             # A horizon bounds the spin at the warmup/measurement edge so a
             # fully stalled pipeline cannot overshoot the window.
-            horizon_at = t_end if measuring else warmup_end
+            horizon_at = t_end_s if measuring else warmup_end
             remaining = horizon_at - engine.now
             if remaining > 0:
                 wake = dev.wakeup()
@@ -153,16 +156,16 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
         if not measuring:
             if now >= warmup_end:
                 measuring = True
-                t_start = now
+                t_start_s = now
                 iters_start = iters_done
                 polls_start = polls
                 stats_start = dev.stats.snapshot()
                 irq_start = node.irq.count
-                t_end = t_start + max(cfg.measure_s, cfg.min_cycles * cycle_s)
-        elif now >= t_end:
+                t_end_s = t_start_s + max(cfg.measure_s, cfg.min_cycles * cycle_s)
+        elif now >= t_end_s:
             break
 
-    elapsed = engine.now - t_start
+    elapsed_s = engine.now - t_start_s
     iters = iters_done - iters_start
     delta = dev.stats.delta(stats_start)
     payload = delta.bytes_send_done + delta.bytes_recv_done
@@ -170,9 +173,9 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
         system=system.name,
         msg_bytes=cfg.msg_bytes,
         poll_interval_iters=p_iters,
-        availability=work_time(system, iters) / elapsed,
-        bandwidth_Bps=payload / elapsed,
-        elapsed_s=elapsed,
+        availability=work_time(system, iters) / elapsed_s,
+        bandwidth_Bps=payload / elapsed_s,
+        elapsed_s=elapsed_s,
         iters=iters,
         polls=polls - polls_start,
         msgs=delta.msgs_send_done + delta.msgs_recv_done,
@@ -180,11 +183,11 @@ def _worker(world: World, cfg: PollingConfig, state: _WorkerState):
     )
 
 
-def _support(world: World, cfg: PollingConfig):
+def _support(world: World, cfg: PollingConfig) -> Iterator[object]:
     """The support process: pure message passing, replies immediately."""
     ctx = world.cluster[1].new_context("comb.support")
     h = world.endpoint(1).bind(ctx)
-    recv_reqs = []
+    recv_reqs: List[Request] = []
     for _ in range(cfg.queue_depth):
         r = yield from h.irecv(src=0, nbytes=cfg.msg_bytes, tag=COMB_TAG)
         recv_reqs.append(r)

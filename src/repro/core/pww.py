@@ -20,11 +20,12 @@ Variants (paper §4.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from ..config import SystemConfig
+from ..mpi.request import Request
 from ..mpi.world import World, build_world
 from .results import PwwPoint
 from .workloop import work_time
@@ -99,7 +100,9 @@ def run_pww_batches(system: SystemConfig, cfg: PwwConfig) -> List[PwwBatch]:
     return state.batches
 
 
-def _worker(world: World, cfg: PwwConfig, state: _PwwState):
+def _worker(
+    world: World, cfg: PwwConfig, state: _PwwState
+) -> Iterator[object]:
     engine = world.engine
     system = world.system
     node = world.cluster[0]
@@ -111,22 +114,22 @@ def _worker(world: World, cfg: PwwConfig, state: _PwwState):
     total_batches = cfg.warmup_batches + cfg.batches
 
     records: List[PwwBatch] = []
-    t_meas_start = None
+    t_meas_start_s = None
     stats_start = None
     irq_start = 0
 
     # Legacy interleaving: keep a backlog of posted batches; wait on the
     # oldest once `interleave` batches are outstanding.
-    backlog: List[List] = []
+    backlog: List[List[Request]] = []
 
     for b in range(total_batches):
         if b == cfg.warmup_batches:
-            t_meas_start = engine.now
+            t_meas_start_s = engine.now
             stats_start = h.device.stats.snapshot()
             irq_start = node.irq.count
 
         t0 = engine.now
-        reqs = []
+        reqs: List[Request] = []
         for _ in range(cfg.batch_msgs):
             r = yield from h.irecv(src=1, nbytes=cfg.msg_bytes, tag=COMB_TAG)
             reqs.append(r)
@@ -163,7 +166,7 @@ def _worker(world: World, cfg: PwwConfig, state: _PwwState):
     # With interleave == 1 the backlog drain above was a no-op, so this is
     # exactly the sum of the measured cycles; with interleave > 1 it also
     # covers the tail drain (in-flight batches the window paid for).
-    elapsed = engine.now - t_meas_start
+    elapsed_s = engine.now - t_meas_start_s
     delta = h.device.stats.delta(stats_start)
     payload = delta.bytes_send_done + delta.bytes_recv_done
     state.batches = measured
@@ -171,9 +174,9 @@ def _worker(world: World, cfg: PwwConfig, state: _PwwState):
         system=system.name,
         msg_bytes=cfg.msg_bytes,
         work_interval_iters=cfg.work_interval_iters,
-        availability=(len(measured) * work_dry_s) / elapsed,
-        bandwidth_Bps=payload / elapsed,
-        elapsed_s=elapsed,
+        availability=(len(measured) * work_dry_s) / elapsed_s,
+        bandwidth_Bps=payload / elapsed_s,
+        elapsed_s=elapsed_s,
         batches=len(measured),
         post_s=float(np.mean([r.post_s for r in measured])),
         work_s=float(np.mean([r.work_s for r in measured])),
@@ -185,12 +188,12 @@ def _worker(world: World, cfg: PwwConfig, state: _PwwState):
     )
 
 
-def _support(world: World, cfg: PwwConfig):
+def _support(world: World, cfg: PwwConfig) -> Iterator[object]:
     """Mirror the worker's batches with no work phase."""
     ctx = world.cluster[1].new_context("comb.pww.support")
     h = world.endpoint(1).bind(ctx)
     while True:
-        reqs = []
+        reqs: List[Request] = []
         for _ in range(cfg.batch_msgs):
             r = yield from h.irecv(src=0, nbytes=cfg.msg_bytes, tag=COMB_TAG)
             reqs.append(r)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..sim.units import to_mbps
 
@@ -103,7 +103,7 @@ class Series:
         """Extract ``attr`` across points."""
         return [getattr(p, attr) for p in self.points]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[object]:
         return iter(self.points)
 
     def __len__(self) -> int:

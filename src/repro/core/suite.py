@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, cast
 
 from ..config import SystemConfig
 from .executor import PointTask, SweepExecutor, current_executor
@@ -73,7 +73,7 @@ class CombSuite:
     """
 
     def __init__(self, system: SystemConfig,
-                 executor: Optional[SweepExecutor] = None):
+                 executor: Optional[SweepExecutor] = None) -> None:
         self.system = system
         self.executor = executor
 
@@ -81,15 +81,15 @@ class CombSuite:
         return current_executor(self.executor)
 
     # -------------------------------------------------------- single points
-    def polling(self, **kwargs) -> PollingPoint:
+    def polling(self, **kwargs: Any) -> PollingPoint:
         """One polling-method point (kwargs feed :class:`PollingConfig`)."""
         task = PointTask("polling", self.system, PollingConfig(**kwargs))
-        return self._executor().run_one(task)
+        return cast(PollingPoint, self._executor().run_one(task))
 
-    def pww(self, **kwargs) -> PwwPoint:
+    def pww(self, **kwargs: Any) -> PwwPoint:
         """One PWW point (kwargs feed :class:`PwwConfig`)."""
         task = PointTask("pww", self.system, PwwConfig(**kwargs))
-        return self._executor().run_one(task)
+        return cast(PwwPoint, self._executor().run_one(task))
 
     # -------------------------------------------------------------- curves
     def polling_curve(

@@ -10,6 +10,8 @@ the numerator of the availability metric:
 
 from __future__ import annotations
 
+from typing import Dict, Iterator
+
 from ..config import SystemConfig
 from ..hardware.cluster import Cluster
 from ..sim.engine import Engine
@@ -29,9 +31,9 @@ def dry_run_iter_time(system: SystemConfig) -> float:
     cluster = Cluster(engine, system, n_nodes=2)
     ctx = cluster[0].new_context("dryrun")
     iter_s = system.machine.cpu.work_iter_s
-    result = {}
+    result: Dict[str, float] = {}
 
-    def loop():
+    def loop() -> Iterator[object]:
         t0 = engine.now
         yield ctx.compute(DRY_RUN_ITERS * iter_s)
         result["elapsed"] = engine.now - t0

@@ -91,11 +91,11 @@ def _fanin_worker(world: World, cfg: PollingConfig, n_peers: int, state: dict):
 
     iters_done = 0.0
     measuring = False
-    t_start = iters_start = 0.0
+    t_start_s = iters_start = 0.0
     stats_start = None
     irq_start = 0
     warmup_end = engine.now + max(cfg.warmup_s, 3 * cycle_s)
-    t_end = float("inf")
+    t_end_s = float("inf")
     flat = [(peer, i) for peer, reqs in recv_reqs.items()
             for i in range(len(reqs))]
 
@@ -112,7 +112,7 @@ def _fanin_worker(world: World, cfg: PollingConfig, n_peers: int, state: dict):
                     peer, cfg.msg_bytes, tag=COMB_TAG
                 )
         elif not dev.has_work() and not any(r.done for r in all_reqs):
-            horizon_at = t_end if measuring else warmup_end
+            horizon_at = t_end_s if measuring else warmup_end
             remaining = horizon_at - engine.now
             if remaining > 0:
                 wake = dev.wakeup()
@@ -130,23 +130,23 @@ def _fanin_worker(world: World, cfg: PollingConfig, n_peers: int, state: dict):
         if not measuring:
             if now >= warmup_end:
                 measuring = True
-                t_start, iters_start = now, iters_done
+                t_start_s, iters_start = now, iters_done
                 stats_start = dev.stats.snapshot()
                 irq_start = node.irq.count
-                t_end = t_start + max(cfg.measure_s, cfg.min_cycles * cycle_s)
-        elif now >= t_end:
+                t_end_s = t_start_s + max(cfg.measure_s, cfg.min_cycles * cycle_s)
+        elif now >= t_end_s:
             break
 
-    elapsed = engine.now - t_start
+    elapsed_s = engine.now - t_start_s
     iters = iters_done - iters_start
     delta = dev.stats.delta(stats_start)
     state["result"] = PollingPoint(
         system=system.name,
         msg_bytes=cfg.msg_bytes,
         poll_interval_iters=p_iters,
-        availability=work_time(system, iters) / elapsed,
-        bandwidth_Bps=(delta.bytes_send_done + delta.bytes_recv_done) / elapsed,
-        elapsed_s=elapsed,
+        availability=work_time(system, iters) / elapsed_s,
+        bandwidth_Bps=(delta.bytes_send_done + delta.bytes_recv_done) / elapsed_s,
+        elapsed_s=elapsed_s,
         iters=iters,
         polls=0,
         msgs=delta.msgs_send_done + delta.msgs_recv_done,

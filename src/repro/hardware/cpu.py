@@ -257,10 +257,10 @@ class CPU:
         if grant is not None and grant.ctx is ctx:
             # The spinner holds the CPU: it observes the event right now.
             now = self.engine.now
-            elapsed = now - grant.resume_time
-            ctx.user_time_s += elapsed
-            self.user_time_s += elapsed
-            grant.quantum_left -= elapsed
+            elapsed_s = now - grant.resume_time
+            ctx.user_time_s += elapsed_s
+            self.user_time_s += elapsed_s
+            grant.quantum_left -= elapsed_s
             grant.epoch += 1
             self._running = None
             # Park the grant: the spinner usually issues its next CPU
@@ -355,11 +355,11 @@ class CPU:
         grant = self._running
         assert grant is not None
         now = self.engine.now
-        elapsed = now - grant.resume_time
-        grant.ctx._remaining -= elapsed
-        grant.ctx.user_time_s += elapsed
-        self.user_time_s += elapsed
-        grant.quantum_left -= elapsed
+        elapsed_s = now - grant.resume_time
+        grant.ctx._remaining -= elapsed_s
+        grant.ctx.user_time_s += elapsed_s
+        self.user_time_s += elapsed_s
+        grant.quantum_left -= elapsed_s
         grant.epoch += 1
         self._running = None
         self._preempted = grant
@@ -442,11 +442,11 @@ class CPU:
             if self._running is not grant or grant.epoch != epoch:
                 return  # stale timer: grant was preempted meanwhile
             now = self.engine.now
-            elapsed = now - grant.resume_time
-            ctx.user_time_s += elapsed
-            self.user_time_s += elapsed
-            ctx._remaining -= elapsed
-            grant.quantum_left -= elapsed
+            elapsed_s = now - grant.resume_time
+            ctx.user_time_s += elapsed_s
+            self.user_time_s += elapsed_s
+            ctx._remaining -= elapsed_s
+            grant.quantum_left -= elapsed_s
             self._running = None
             if completes:
                 ev = ctx._event

@@ -1,0 +1,54 @@
+"""comb-lint: AST-based determinism, units, and cache-key linter.
+
+Static counterpart of the runtime sanitizer (:mod:`repro.verify`): where
+the sanitizer catches invariant violations while a simulation runs, this
+package rejects the *sources* of irreproducibility at review time —
+wall-clock reads, unseeded RNG, hash-order iteration, unit-suffix
+violations, config fields invisible to the point-cache key, and blocking
+I/O in engine hot paths.
+
+Entry points::
+
+    comb lint src [--format=json] [--baseline tools/lint_baseline.json]
+    python tools/lint.py ...
+
+Rules (see ``docs/lint_rules.md`` for the full catalog):
+
+========  ==========================================================
+DET001    no wall-clock reads in simulation code
+DET002    no global/unseeded RNG in simulation code
+DET003    no iteration over bare sets in simulation code
+DET004    no hash()/id() values in simulation logic
+UNIT001   quantity-named bindings must carry unit suffixes
+UNIT002   no additive arithmetic across unit suffixes
+CACHE001  config dataclass fields must be cache-key visible + stable
+SIM001    no blocking I/O in engine hot paths
+========  ==========================================================
+
+Inline waiver: ``# comb-lint: disable=RULE[,RULE...]`` on the offending
+line (``disable-file=`` for a whole file).  The CI gate additionally
+accepts a checked-in baseline of grandfathered violations — except for
+the DET and CACHE families, which may never be baselined.
+"""
+
+from .baseline import Baseline, BaselineError, NEVER_BASELINE_PREFIXES
+from .model import LintViolation, SIM_PACKAGES
+from .output import format_json, format_rule_list, format_text
+from .rules import all_rule_classes, rule_catalog
+from .runner import LintReport, iter_python_files, lint_paths
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "NEVER_BASELINE_PREFIXES",
+    "LintViolation",
+    "SIM_PACKAGES",
+    "LintReport",
+    "lint_paths",
+    "iter_python_files",
+    "all_rule_classes",
+    "rule_catalog",
+    "format_text",
+    "format_json",
+    "format_rule_list",
+]

@@ -1,0 +1,100 @@
+"""Checked-in violation baseline.
+
+The CI gate fails on any violation *not* recorded in the baseline file,
+so new code is held to the full rule set while grandfathered debt is
+burned down deliberately.  Entries are matched by fingerprint (rule +
+path + enclosing symbol + source snippet), not line number, so unrelated
+edits above a grandfathered line do not resurrect it.
+
+The repository policy (enforced by tests) is that the DET and CACHE rule
+families must never be baselined: determinism and cache-key bugs are
+fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Union
+
+from .model import LintViolation
+
+BASELINE_VERSION = 1
+
+#: Rule-id prefixes that may never appear in a baseline file.
+NEVER_BASELINE_PREFIXES = ("DET", "CACHE")
+
+
+class BaselineError(ValueError):
+    """Raised for malformed or policy-violating baseline files."""
+
+
+class Baseline:
+    """A set of grandfathered violation fingerprints."""
+
+    def __init__(self, entries: Iterable[Dict[str, str]] = ()) -> None:
+        self.entries: List[Dict[str, str]] = list(entries)
+        self._fingerprints: Set[str] = {
+            e["fingerprint"] for e in self.entries if "fingerprint" in e
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, violation: LintViolation) -> bool:
+        """Is this violation grandfathered?"""
+        return violation.fingerprint() in self._fingerprints
+
+    def forbidden_entries(self) -> List[Dict[str, str]]:
+        """Entries violating the never-baseline policy (DET/CACHE)."""
+        return [
+            e for e in self.entries
+            if str(e.get("rule", "")).startswith(NEVER_BASELINE_PREFIXES)
+        ]
+
+    # --------------------------------------------------------------- disk
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            doc = json.loads(p.read_text())
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"unreadable baseline {p}: {exc}") from exc
+        if (
+            not isinstance(doc, dict)
+            or doc.get("version") != BASELINE_VERSION
+            or not isinstance(doc.get("entries"), list)
+        ):
+            raise BaselineError(
+                f"{p} is not a version-{BASELINE_VERSION} baseline document"
+            )
+        return cls(doc["entries"])
+
+    @classmethod
+    def from_violations(
+        cls, violations: Iterable[LintViolation]
+    ) -> "Baseline":
+        """Baseline grandfathering exactly ``violations``."""
+        entries = [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "symbol": v.symbol,
+                "snippet": v.snippet,
+                "fingerprint": v.fingerprint(),
+            }
+            for v in violations
+        ]
+        entries.sort(key=lambda e: (e["rule"], e["path"], e["fingerprint"]))
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline document (stable field order)."""
+        doc = {"version": BASELINE_VERSION, "entries": self.entries}
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = ["Baseline", "BaselineError", "NEVER_BASELINE_PREFIXES"]

@@ -1,0 +1,236 @@
+"""Determinism rules DET001–DET004.
+
+COMB's headline artifact is a set of bit-reproducible overlap curves; a
+single wall-clock read or unseeded random draw inside the simulation
+perturbs event timestamps or ordering and silently changes every number
+downstream.  These rules reject the known nondeterminism sources at
+review time, inside the simulation packages (``sim``, ``mpi``,
+``transport``, ``hardware``, ``os``) where they can do damage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from .model import FileContext, LintViolation
+from .rules import FileRule, register
+
+#: Wall-clock time sources (canonical dotted names).
+WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Unseeded / process-global entropy sources.
+GLOBAL_RNG_EXACT: Set[str] = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "numpy.random.RandomState",
+    "numpy.random.seed",
+}
+GLOBAL_RNG_PREFIXES: Tuple[str, ...] = (
+    "random.",
+    "secrets.",
+    "numpy.random.",
+)
+
+#: Dunders whose output never feeds simulation state; ``id()`` in a repr
+#: is a debugging aid, not a determinism hazard.
+_REPR_DUNDERS: Set[str] = {"__repr__", "__str__", "__hash__", "__format__"}
+
+
+@register
+class WallClockRule(FileRule):
+    """DET001: no wall-clock reads inside the simulation."""
+
+    rule_id = "DET001"
+    summary = (
+        "wall-clock read in simulation code; use the engine's virtual "
+        "clock (Engine.now / timeouts)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.sim_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"{name}() reads the wall clock; simulation code must "
+                    "use engine virtual time (Engine.now)",
+                )
+
+
+@register
+class GlobalRngRule(FileRule):
+    """DET002: no global/unseeded RNG inside the simulation."""
+
+    rule_id = "DET002"
+    summary = (
+        "global or unseeded RNG in simulation code; draw from a "
+        "repro.sim.rng.RngRegistry named substream"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.sim_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.make_violation(
+                        self.rule_id,
+                        node,
+                        "numpy.random.default_rng() without a seed is "
+                        "entropy-seeded; derive the seed from an "
+                        "RngRegistry named substream",
+                    )
+                continue
+            if name in GLOBAL_RNG_EXACT or name.startswith(
+                GLOBAL_RNG_PREFIXES
+            ):
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"{name}() draws from process-global entropy; use "
+                    "repro.sim.rng.RngRegistry named substreams so adding "
+                    "a consumer never perturbs existing streams",
+                )
+
+
+@register
+class SetIterationRule(FileRule):
+    """DET003: no iteration over a bare ``set`` in simulation paths.
+
+    Set iteration order depends on insertion history and on the
+    per-process string hash seed — the spawn-pool workers and the serial
+    path would disagree.  ``sorted(the_set)`` is the sanctioned form.
+    """
+
+    rule_id = "DET003"
+    summary = (
+        "iteration over a bare set in simulation code; order is "
+        "hash-seed dependent — wrap in sorted()"
+    )
+
+    _CONSUMERS: Set[str] = {"list", "tuple", "enumerate"}
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.sim_scope:
+            return
+        set_names = self._set_typed_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._flag_if_setish(ctx, node.iter, set_names)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from self._flag_if_setish(ctx, gen.iter, set_names)
+            elif isinstance(node, ast.Call):
+                name = ctx.dotted_name(node.func)
+                if name in self._CONSUMERS and node.args:
+                    yield from self._flag_if_setish(
+                        ctx, node.args[0], set_names
+                    )
+
+    @staticmethod
+    def _set_typed_names(ctx: FileContext) -> Set[str]:
+        """Names assigned a set literal / set() call anywhere in the file."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not SetIterationRule._is_set_expr(node.value, ctx):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.dotted_name(node.func) in {"set", "frozenset"}
+        return False
+
+    def _flag_if_setish(
+        self, ctx: FileContext, expr: ast.AST, set_names: Set[str]
+    ) -> Iterator[LintViolation]:
+        setish = self._is_set_expr(expr, ctx) or (
+            isinstance(expr, ast.Name) and expr.id in set_names
+        )
+        if setish:
+            yield ctx.make_violation(
+                self.rule_id,
+                expr,
+                "iteration order over a set depends on the per-process "
+                "hash seed; iterate sorted(...) instead",
+            )
+
+
+@register
+class HashSeedRule(FileRule):
+    """DET004: no ``hash()``/``id()`` values in simulation logic.
+
+    String hashing is randomized per process (PYTHONHASHSEED), and
+    ``id()`` is an allocation address: both differ between the serial
+    path and spawn-pool workers, so any value derived from them breaks
+    the executor's bit-identity guarantee.  Reprs are exempt.
+    """
+
+    rule_id = "DET004"
+    summary = (
+        "hash()/id() value used in simulation code; both are "
+        "per-process — derive ordering keys from stable fields"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.sim_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name not in {"hash", "id"}:
+                continue
+            symbol = ctx.symbol_at(node.lineno)
+            if symbol.rpartition(".")[2] in _REPR_DUNDERS:
+                continue
+            yield ctx.make_violation(
+                self.rule_id,
+                node,
+                f"{name}() is per-process (hash seed / heap layout); "
+                "simulation logic must not depend on it",
+            )
+
+
+# Re-exported for the rule catalog tests.
+__all__ = [
+    "WallClockRule",
+    "GlobalRngRule",
+    "SetIterationRule",
+    "HashSeedRule",
+]

@@ -1,0 +1,74 @@
+"""Rule framework: base classes, the registry, and rule metadata.
+
+Rules come in two shapes:
+
+* :class:`FileRule` — examines one :class:`~repro.lint.model.FileContext`
+  at a time (all DET/UNIT/SIM rules).
+* :class:`ProjectRule` — examines the whole batch of parsed files at once
+  (CACHE001 needs the executor's hashing code *and* every config
+  dataclass definition, which live in different modules).
+
+Every rule registers itself via the :func:`register` decorator; the
+runner instantiates the registry once per invocation, so rules may keep
+per-run state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Type
+
+from .model import FileContext, LintViolation
+
+
+class Rule:
+    """Common metadata every rule carries."""
+
+    #: Unique id, e.g. ``DET001`` (class attribute; never empty in leaves).
+    rule_id: str = ""
+    #: ``error`` or ``warning``.
+    severity: str = "error"
+    #: One-line human summary (shown by ``comb lint --list-rules``).
+    summary: str = ""
+
+
+class FileRule(Rule):
+    """A rule evaluated independently per file."""
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole set of linted files."""
+
+    def check_project(
+        self, ctxs: Sequence[FileContext]
+    ) -> Iterator[LintViolation]:
+        """Yield every violation of this rule across ``ctxs``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rule_classes() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_catalog() -> Dict[str, str]:
+    """``rule_id → summary`` for every registered rule."""
+    return {k: _REGISTRY[k].summary for k in sorted(_REGISTRY)}

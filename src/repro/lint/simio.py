@@ -1,0 +1,92 @@
+"""Hot-path I/O rule SIM001.
+
+Engine hot paths — everything under the simulation packages plus the
+COMB method drivers in ``repro.core`` — execute millions of times per
+sweep and must never touch the host: a stray ``open()`` or
+``time.sleep()`` couples simulated results to filesystem state and
+wall-clock scheduling, and a ``print()`` in a pool worker interleaves
+nondeterministically with the parent's output.  All I/O belongs in the
+orchestration layer (executor, CLI, analysis).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from .model import FileContext, LintViolation
+from .rules import FileRule, register
+
+#: Canonical dotted names that block or touch the host.
+BLOCKING_CALLS: Set[str] = {
+    "open",
+    "input",
+    "print",
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.fork",
+    "socket.socket",
+    "socket.create_connection",
+}
+
+#: Any call under these prefixes is host I/O.
+BLOCKING_PREFIXES: Tuple[str, ...] = (
+    "subprocess.",
+    "urllib.",
+    "requests.",
+    "shutil.",
+)
+
+#: Method names that are file I/O no matter the receiver (Path methods).
+FILE_METHODS: Set[str] = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+    "unlink",
+    "mkdir",
+}
+
+
+@register
+class HotPathIoRule(FileRule):
+    """SIM001: no blocking I/O inside engine hot paths."""
+
+    rule_id = "SIM001"
+    summary = (
+        "blocking/host I/O (open, sleep, subprocess, print, Path I/O) "
+        "inside an engine hot path"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.hot_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name is not None and (
+                name in BLOCKING_CALLS or name.startswith(BLOCKING_PREFIXES)
+            ):
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"{name}() performs host I/O inside an engine hot "
+                    "path; move it to the orchestration layer "
+                    "(executor/CLI/analysis)",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in FILE_METHODS
+            ):
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f".{node.func.attr}() is file I/O inside an engine "
+                    "hot path; hot-path code must stay host-independent",
+                )
+
+
+__all__ = ["HotPathIoRule"]

@@ -1,0 +1,219 @@
+"""Units-discipline rules UNIT001–UNIT002.
+
+The simulator is SI-internal (seconds, bytes, bytes/second, hertz; see
+:mod:`repro.sim.units`) and the codebase encodes the unit of every
+quantity in its name: ``wire_latency_s``, ``msg_bytes``,
+``host_dma_bandwidth_Bps``, ``poll_interval_iters``.  Hunold &
+Carpen-Amarie's reproducibility post-mortems repeatedly trace silent
+drift to a microsecond fed where a second was expected — a class of bug
+the type checker cannot see because both are ``float``.  These rules
+make the convention mandatory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .model import FileContext, LintViolation
+from .rules import FileRule, register
+
+#: Recognized unit suffixes, grouped into dimension families.  A name
+#: carrying any of these is considered unit-annotated.
+SUFFIX_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "time": ("_s", "_us", "_ms", "_ns"),
+    "size": ("_bytes", "_kib", "_mib", "_kb", "_mb"),
+    "bandwidth": ("_Bps", "_MBps", "_bps"),
+    "frequency": ("_hz", "_mhz", "_ghz"),
+    "count": ("_iters", "_cycles", "_pkts", "_msgs", "_ranks", "_tokens"),
+}
+
+#: Quantity stems that *require* a unit suffix, with the families that
+#: satisfy them.  A name violates UNIT001 when it equals a stem (or ends
+#: in ``_<stem>``) and carries no recognized suffix at all.
+QUANTITY_STEMS: Dict[str, Tuple[str, ...]] = {
+    "delay": ("time",),
+    "latency": ("time",),
+    "timeout": ("time",),
+    "duration": ("time",),
+    "elapsed": ("time",),
+    "warmup": ("time", "count"),
+    "deadline": ("time",),
+    "period": ("time",),
+    "interval": ("time", "count"),
+    "size": ("size", "count"),
+    "bandwidth": ("bandwidth",),
+    "freq": ("frequency",),
+    "frequency": ("frequency",),
+}
+
+
+def unit_suffix_of(name: str) -> Optional[Tuple[str, str]]:
+    """``(family, suffix)`` when ``name`` ends in a recognized suffix."""
+    for family, suffixes in SUFFIX_FAMILIES.items():
+        for suffix in suffixes:
+            if name.endswith(suffix):
+                return family, suffix
+    return None
+
+
+def quantity_stem_of(name: str) -> Optional[str]:
+    """The quantity stem ``name`` expresses, if any.
+
+    Exact match or ``<prefix>_<stem>``; plural forms (``sizes``,
+    ``intervals``) are containers of values, not quantities, and are
+    deliberately not matched.
+    """
+    for stem in QUANTITY_STEMS:
+        if name == stem or name.endswith(f"_{stem}"):
+            return stem
+    return None
+
+
+def needs_suffix(name: str) -> bool:
+    """Does UNIT001 require a suffix on ``name``?
+
+    Two triggers: a quantity stem (``delay``, ``wire_latency``) and the
+    time-temporary idiom ``t_<something>`` (``t_start``, ``t_comm``).
+    """
+    if unit_suffix_of(name) is not None:
+        return False
+    if quantity_stem_of(name) is not None:
+        return True
+    return (
+        name.startswith("t_")
+        and len(name) > 2
+        and not name[2:].isdigit()
+    )
+
+
+@register
+class UnitSuffixRule(FileRule):
+    """UNIT001: quantity-named parameters/locals must carry unit suffixes."""
+
+    rule_id = "UNIT001"
+    summary = (
+        "time/size/bandwidth-named binding without a unit suffix "
+        "(_s, _bytes, _Bps, _iters, ...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        seen: Set[Tuple[str, int]] = set()
+        for node in ast.walk(ctx.tree):
+            for name, anchor in self._bindings(node):
+                key = (name, anchor.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if needs_suffix(name):
+                    yield ctx.make_violation(
+                        self.rule_id,
+                        anchor,
+                        f"{name!r} names a physical quantity but carries "
+                        f"no unit suffix; encode the unit in the name "
+                        f"(e.g. {name}_s / {name}_bytes / {name}_iters)",
+                    )
+
+    @staticmethod
+    def _bindings(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        """(name, anchor-node) for every binding this node introduces."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ):
+                yield arg.arg, arg
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from UnitSuffixRule._names_in_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            yield from UnitSuffixRule._names_in_target(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from UnitSuffixRule._names_in_target(node.target)
+
+    @staticmethod
+    def _names_in_target(target: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        if isinstance(target, ast.Name):
+            yield target.id, target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from UnitSuffixRule._names_in_target(elt)
+
+
+@register
+class UnitMixRule(FileRule):
+    """UNIT002: no additive arithmetic across unit suffixes.
+
+    ``a_s + b_us`` is a unit bug by construction; ``a_s + 3`` hides a
+    constant whose unit nobody can audit.  Multiplication and division
+    legitimately change dimensions and are not checked.
+    """
+
+    rule_id = "UNIT002"
+    summary = (
+        "addition/subtraction mixing different unit suffixes, or a "
+        "unit-suffixed name with a bare non-zero literal"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = self._unit_tag(node.left)
+            right = self._unit_tag(node.right)
+            if left is None or right is None:
+                continue
+            if left == "literal" and right == "literal":
+                continue
+            if left == "literal" or right == "literal":
+                suffix = right if left == "literal" else left
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"bare numeric literal combined with a {suffix!r} "
+                    "quantity; give the constant a unit "
+                    "(repro.sim.units helpers or a suffixed name)",
+                )
+            elif left != right:
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"adding {left!r} and {right!r} quantities; convert "
+                    "to one unit first (repro.sim.units)",
+                )
+
+    @staticmethod
+    def _unit_tag(node: ast.AST) -> Optional[str]:
+        """The unit suffix of an operand, ``"literal"``, or ``None``.
+
+        Only plain names and attribute tails are unit-tagged; zero
+        literals are untagged (additive identity in any unit).
+        """
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and node.value != 0:
+                return "literal"
+            return None
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return None
+        tagged = unit_suffix_of(name)
+        return tagged[1] if tagged else None
+
+
+__all__ = [
+    "SUFFIX_FAMILIES",
+    "QUANTITY_STEMS",
+    "unit_suffix_of",
+    "quantity_stem_of",
+    "needs_suffix",
+    "UnitSuffixRule",
+    "UnitMixRule",
+]

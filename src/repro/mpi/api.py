@@ -36,7 +36,10 @@ __all__ = ["ANY_SOURCE", "ANY_TAG", "Endpoint", "MpiHandle", "Status"]
 class Endpoint:
     """One MPI rank: a device plus identity."""
 
-    def __init__(self, engine: Engine, device: Device, rank: int, world_size: int):
+    # world_size is MPI's own name for the communicator's rank count — a
+    # count of ranks, not a byte quantity; keep the standard term.
+    def __init__(self, engine: Engine, device: Device, rank: int,
+                 world_size: int):  # comb-lint: disable=UNIT001
         self.engine = engine
         self.device = device
         self.rank = rank

@@ -32,28 +32,28 @@ _COLL_TAG_BASE = 1 << 20
 REDUCE_COMBINE_BANDWIDTH_BPS = mbps(400)
 
 
-def _tree_children(rank: int, root: int, size: int) -> List[int]:
+def _tree_children(rank: int, root: int, nranks: int) -> List[int]:
     """Children of ``rank`` in a binomial tree rooted at ``root``."""
-    vrank = (rank - root) % size
+    vrank = (rank - root) % nranks
     children = []
     mask = 1
-    while mask < size:
+    while mask < nranks:
         if vrank & (mask - 1) == 0 and vrank | mask != vrank:
             child = vrank | mask
-            if child < size:
-                children.append((child + root) % size)
+            if child < nranks:
+                children.append((child + root) % nranks)
         mask <<= 1
     return children
 
 
-def _tree_parent(rank: int, root: int, size: int) -> Optional[int]:
+def _tree_parent(rank: int, root: int, nranks: int) -> Optional[int]:
     """Parent of ``rank`` in the binomial tree, ``None`` for the root."""
-    vrank = (rank - root) % size
+    vrank = (rank - root) % nranks
     if vrank == 0:
         return None
     # Clear the lowest set bit.
     parent_v = vrank & (vrank - 1)
-    return (parent_v + root) % size
+    return (parent_v + root) % nranks
 
 
 def bcast(h: MpiHandle, nbytes: int, root: int = 0, tag: int = _COLL_TAG_BASE):
@@ -63,11 +63,11 @@ def bcast(h: MpiHandle, nbytes: int, root: int = 0, tag: int = _COLL_TAG_BASE):
     serializes on the sender's NIC, so the deepest subtree must get the
     data earliest for the log-P critical path to hold.
     """
-    size = h.endpoint.world_size
-    parent = _tree_parent(h.rank, root, size)
+    nranks = h.endpoint.world_size
+    parent = _tree_parent(h.rank, root, nranks)
     if parent is not None:
         yield from h.recv(parent, nbytes, tag)
-    for child in reversed(_tree_children(h.rank, root, size)):
+    for child in reversed(_tree_children(h.rank, root, nranks)):
         yield from h.send(child, nbytes, tag)
 
 
@@ -82,13 +82,13 @@ def reduce(
 
     Each received contribution costs a CPU combine pass over the buffer.
     """
-    size = h.endpoint.world_size
-    children = _tree_children(h.rank, root, size)
+    nranks = h.endpoint.world_size
+    children = _tree_children(h.rank, root, nranks)
     # Receive deepest-first (reverse of send order in bcast).
     for child in reversed(children):
         yield from h.recv(child, nbytes, tag)
         yield h.ctx.compute(nbytes / combine_Bps)
-    parent = _tree_parent(h.rank, root, size)
+    parent = _tree_parent(h.rank, root, nranks)
     if parent is not None:
         yield from h.send(parent, nbytes, tag)
 
@@ -107,10 +107,10 @@ def allreduce(
 def gather(h: MpiHandle, nbytes: int, root: int = 0,
            tag: int = _COLL_TAG_BASE + 4):
     """Direct gather: every rank sends ``nbytes`` to ``root``."""
-    size = h.endpoint.world_size
+    nranks = h.endpoint.world_size
     if h.rank == root:
         reqs = []
-        for src in range(size):
+        for src in range(nranks):
             if src == root:
                 continue
             r = yield from h.irecv(src, nbytes, tag)
@@ -121,17 +121,17 @@ def gather(h: MpiHandle, nbytes: int, root: int = 0,
 
 
 def alltoall(h: MpiHandle, nbytes: int, tag: int = _COLL_TAG_BASE + 5):
-    """Pairwise all-to-all: ``size - 1`` exchange rounds.
+    """Pairwise all-to-all: ``nranks - 1`` exchange rounds.
 
     Round ``r`` pairs each rank with ``rank XOR-free partner
-    (rank + r) % size`` — every output port of the switch carries traffic
+    (rank + r) % nranks`` — every output port of the switch carries traffic
     in every round.
     """
-    size = h.endpoint.world_size
+    nranks = h.endpoint.world_size
     reqs = []
-    for r in range(1, size):
-        dst = (h.rank + r) % size
-        src = (h.rank - r) % size
+    for r in range(1, nranks):
+        dst = (h.rank + r) % nranks
+        src = (h.rank - r) % nranks
         rr = yield from h.irecv(src, nbytes, tag + r)
         sr = yield from h.isend(dst, nbytes, tag + r)
         reqs.extend((rr, sr))
@@ -139,13 +139,13 @@ def alltoall(h: MpiHandle, nbytes: int, tag: int = _COLL_TAG_BASE + 5):
 
 
 def barrier_all(h: MpiHandle, tag: int = _COLL_TAG_BASE + 100):
-    """Dissemination barrier (log2 rounds, any world size)."""
-    size = h.endpoint.world_size
+    """Dissemination barrier (log2 rounds, any world nranks)."""
+    nranks = h.endpoint.world_size
     round_no = 0
     dist = 1
-    while dist < size:
-        dst = (h.rank + dist) % size
-        src = (h.rank - dist) % size
+    while dist < nranks:
+        dst = (h.rank + dist) % nranks
+        src = (h.rank - dist) % nranks
         rr = yield from h.irecv(src, 0, tag + round_no)
         sr = yield from h.isend(dst, 0, tag + round_no)
         yield from h.waitall([rr, sr])

@@ -100,18 +100,18 @@ def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
     cfg_extra = dict(spec.get("config", {}))
     if kind == "polling":
         points = []
-        for interval in spec.get("intervals", [10_000]):
+        for interval_iters in spec.get("intervals", [10_000]):
             cfg = PollingConfig(
-                msg_bytes=msg_bytes, poll_interval_iters=int(interval),
+                msg_bytes=msg_bytes, poll_interval_iters=int(interval_iters),
                 **cfg_extra,
             )
             points.append(run_polling(system, cfg).to_dict())
         return {"kind": kind, "points": points}
     if kind == "pww":
         points = []
-        for interval in spec.get("intervals", [100_000]):
+        for interval_iters in spec.get("intervals", [100_000]):
             cfg = PwwConfig(
-                msg_bytes=msg_bytes, work_interval_iters=int(interval),
+                msg_bytes=msg_bytes, work_interval_iters=int(interval_iters),
                 **cfg_extra,
             )
             points.append(run_pww(system, cfg).to_dict())

@@ -54,9 +54,9 @@ class Engine:
         """Create a fresh untriggered :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay_s: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay_s`` seconds from now."""
+        return Timeout(self, delay_s, value)
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new :class:`Process` running ``generator``."""
@@ -74,22 +74,22 @@ class Engine:
         return AnyOf(self, events)
 
     # ------------------------------------------------------------- scheduling
-    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+    def _enqueue(self, event: Event, priority: int, delay_s: float = 0.0) -> None:
         """Insert a triggered event into the pending heap."""
-        if delay < 0.0 and self.trace is not None:
+        if delay_s < 0.0 and self.trace is not None:
             # Scheduling in the past is a causality corruption the sanitizer
             # must see at the source; the float compare keeps the untraced
             # hot path free of any extra work.
-            self.trace.record(self._now, "engine", "schedule_past", (delay,))
+            self.trace.record(self._now, "engine", "schedule_past", (delay_s,))
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+        heapq.heappush(self._queue, (self._now + delay_s, priority, seq, event))
 
     def schedule_callback(
-        self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+        self, delay_s: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
     ) -> Event:
-        """Run ``fn()`` after ``delay`` seconds; returns the trigger event."""
-        ev = self.timeout(delay)
+        """Run ``fn()`` after ``delay_s`` seconds; returns the trigger event."""
+        ev = self.timeout(delay_s)
         ev.callbacks.append(lambda _e: fn())
         return ev
 

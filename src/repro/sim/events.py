@@ -139,18 +139,18 @@ _PENDING = object()
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay_s`` simulated seconds after creation."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay_s",)
 
-    def __init__(self, engine: "Engine", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
+    def __init__(self, engine: "Engine", delay_s: float, value: Any = None):
+        if delay_s < 0:
+            raise ValueError(f"negative timeout delay_s: {delay_s!r}")
         super().__init__(engine)
-        self.delay = delay
+        self.delay_s = delay_s
         self._ok = True
         self._value = value
-        engine._enqueue(self, PRIORITY_NORMAL, delay)
+        engine._enqueue(self, PRIORITY_NORMAL, delay_s)
 
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         raise SimulationError("a Timeout is triggered at creation time")

@@ -204,7 +204,7 @@ class Pipe:
         ev = Event(self.engine)
         ev._ok = True
         ev._value = payload
-        self.engine._enqueue(ev, 1, delay=(done + self.latency_s) - now)
+        self.engine._enqueue(ev, 1, delay_s=(done + self.latency_s) - now)
         return ev
 
     @property

@@ -306,16 +306,16 @@ class PortalsDevice(Device):
         flow = self._tx_flow(dest_node)
         if not flow.has_unacked:
             return
-        deadline = self._rto_deadline.get(dest_node, 0.0)
-        if self.engine.now + 1e-12 >= deadline:
+        deadline_s = self._rto_deadline.get(dest_node, 0.0)
+        if self.engine.now + 1e-12 >= deadline_s:
             self._retransmit(dest_node, flow.on_timeout())
-            delay = self.params.rto_s
+            delay_s = self.params.rto_s
         else:
-            # Progress moved the deadline: re-check exactly then.
-            delay = deadline - self.engine.now
+            # Progress moved the deadline_s: re-check exactly then.
+            delay_s = deadline_s - self.engine.now
         self._rto_armed[dest_node] = True
         self.engine.schedule_callback(
-            delay, lambda: self._check_rto(dest_node)
+            delay_s, lambda: self._check_rto(dest_node)
         )
 
     # ---------------------------------------------------------------- NIC rx

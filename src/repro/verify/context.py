@@ -11,7 +11,7 @@ free of checking overhead.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only
     from .sanitizer import Sanitizer
@@ -25,7 +25,9 @@ def current_sanitizer() -> Optional["Sanitizer"]:
 
 
 @contextmanager
-def use_sanitizer(sanitizer: Optional["Sanitizer"]):
+def use_sanitizer(
+    sanitizer: Optional["Sanitizer"],
+) -> Iterator[Optional["Sanitizer"]]:
     """Make ``sanitizer`` ambient for the dynamic extent of the block.
 
     ``None`` is accepted (and is a no-op) so callers can write

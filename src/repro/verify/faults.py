@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..sim.events import PRIORITY_NORMAL, Event
 from ..sim.rng import RngRegistry
@@ -84,12 +84,12 @@ class FaultPlan:
 class FaultInjector:
     """Installs a :class:`FaultPlan`'s tampering shims on one world."""
 
-    def __init__(self, world, plan: FaultPlan):
+    def __init__(self, world: Any, plan: FaultPlan) -> None:
         self.world = world
         self.plan = plan
         self.rng = RngRegistry(plan.seed)
         #: Injections performed, per fault class.
-        self.injected: Counter = Counter()
+        self.injected: "Counter[str]" = Counter()
         self._installed = False
 
     # ------------------------------------------------------------- install
@@ -110,8 +110,8 @@ class FaultInjector:
         if plan.defer_irq_node is not None:
             self._defer_irq(cluster[plan.defer_irq_node].irq)
         if plan.spurious_completion_at is not None:
-            delay = max(0.0, plan.spurious_completion_at - self.world.engine.now)
-            self.world.engine.schedule_callback(delay, self._spurious_complete)
+            delay_s = max(0.0, plan.spurious_completion_at - self.world.engine.now)
+            self.world.engine.schedule_callback(delay_s, self._spurious_complete)
         return self
 
     # ------------------------------------------------------------ internals
@@ -135,7 +135,9 @@ class FaultInjector:
                 self.world.engine.now, "fault", f"fault_{name}", detail
             )
 
-    def _tamper_delivery(self, deliver):
+    def _tamper_delivery(
+        self, deliver: Callable[[Packet], None]
+    ) -> Callable[[Packet], None]:
         plan = self.plan
 
         def tampered(pkt: Packet) -> None:
@@ -166,7 +168,9 @@ class FaultInjector:
 
         return tampered
 
-    def _deliver_in_past(self, deliver, pkt: Packet) -> None:
+    def _deliver_in_past(
+        self, deliver: Callable[[Packet], None], pkt: Packet
+    ) -> None:
         """Schedule delivery *before* now — the corruption a sanitized
         engine must catch (``scheduled_in_past`` + ``clock_backwards``)."""
         engine = self.world.engine
@@ -176,12 +180,12 @@ class FaultInjector:
         ev.callbacks.append(lambda e: deliver(e.value))
         engine._enqueue(ev, PRIORITY_NORMAL, -abs(self.plan.timewarp_s))
 
-    def _stall_nic(self, nic) -> None:
+    def _stall_nic(self, nic: Any) -> None:
         submit = nic.submit
         allowed = self.plan.nic_stall_after
         seen = [0]
 
-        def stalled(job) -> None:
+        def stalled(job: Any) -> None:
             if seen[0] >= allowed:
                 # Stalled: the job is accepted and silently never serviced.
                 self._note("nic_stall")
@@ -191,11 +195,15 @@ class FaultInjector:
 
         nic.submit = stalled
 
-    def _defer_irq(self, irq) -> None:
+    def _defer_irq(self, irq: Any) -> None:
         raise_irq = irq.raise_irq
         plan = self.plan
 
-        def deferred(handler_cost_s, fn=None, label=""):
+        def deferred(
+            handler_cost_s: float,
+            fn: Optional[Callable[[], None]] = None,
+            label: str = "",
+        ) -> Event:
             eligible = (not plan.defer_irq_label
                         or label.startswith(plan.defer_irq_label))
             if eligible and self._roll("defer_irq", plan.defer_irq_rate):

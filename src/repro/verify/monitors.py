@@ -62,11 +62,11 @@ class InvariantMonitor:
     def on_record(self, rec) -> None:
         """Consume one :class:`~repro.sim.trace.TraceRecord`."""
 
-    def finalize(self, world, quiescent: bool) -> None:
+    def finalize(self, world: Any, quiescent: bool) -> None:
         """Structural end-of-run checks against ``world``'s device state."""
 
 
-def _devices(world):
+def _devices(world: Any) -> List[Any]:
     """The world's transport devices, rank order."""
     return [ep.device for ep in world.endpoints]
 
@@ -132,7 +132,7 @@ class ConservationMonitor(InvariantMonitor):
         elif kind in _DROP_KINDS:
             self._drops += 1
 
-    def finalize(self, world, quiescent: bool) -> None:
+    def finalize(self, world: Any, quiescent: bool) -> None:
         if not quiescent:
             return
         now = world.engine.now
@@ -212,7 +212,7 @@ class TokenMonitor(InvariantMonitor):
                 f"(allotment {initial})",
             )
 
-    def finalize(self, world, quiescent: bool) -> None:
+    def finalize(self, world: Any, quiescent: bool) -> None:
         from ..transport.gm import EagerArrival, GmDevice
 
         if not quiescent:
@@ -333,7 +333,7 @@ class MatchingMonitor(InvariantMonitor):
                     "without a matching RTS",
                 )
 
-    def finalize(self, world, quiescent: bool) -> None:
+    def finalize(self, world: Any, quiescent: bool) -> None:
         if not quiescent:
             return
         now = world.engine.now

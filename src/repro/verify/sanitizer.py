@@ -15,7 +15,7 @@ output bit-identical to unchecked output.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..sim.trace import Tracer, TraceRecord
 from .monitors import CausalityMonitor, InvariantMonitor, Violation, default_monitors
@@ -29,7 +29,7 @@ class SanitizerTracer(Tracer):
     clock must never step backwards between them.
     """
 
-    def __init__(self, sanitizer: "Sanitizer"):
+    def __init__(self, sanitizer: "Sanitizer") -> None:
         super().__init__()
         self._sanitizer = sanitizer
         self._last_kernel_t = float("-inf")
@@ -61,7 +61,7 @@ class Sanitizer:
         self,
         monitors: Optional[List[InvariantMonitor]] = None,
         quiescent: bool = False,
-    ):
+    ) -> None:
         self.monitors = default_monitors() if monitors is None else list(monitors)
         self.quiescent = quiescent
         self.tracer = SanitizerTracer(self)
@@ -72,7 +72,7 @@ class Sanitizer:
         self._finalized = False
 
     # ------------------------------------------------------------ attachment
-    def install(self, world) -> None:
+    def install(self, world: Any) -> None:
         """Attach monitors and queue observers to a freshly built world.
 
         Called automatically by :func:`repro.mpi.world.build_world` when
@@ -95,7 +95,9 @@ class Sanitizer:
                         engine, f"rank{dev.rank}.{attr}", unexpected=True
                     )
 
-    def _queue_observer(self, engine, source: str, unexpected: bool = False):
+    def _queue_observer(
+        self, engine: Any, source: str, unexpected: bool = False
+    ) -> Callable[[str, Any], None]:
         prefix = "q_unex_" if unexpected else "q_"
         def observe(op: str, obj: Any) -> None:
             self.dispatch(TraceRecord(engine.now, source, prefix + op, obj))

@@ -1,0 +1,9 @@
+"""Fixture system config (lives outside the fixture's _SALT_SOURCES)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    name: str = "fixture"
+    seed: int = 0

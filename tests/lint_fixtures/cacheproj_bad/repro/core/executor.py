@@ -1,0 +1,42 @@
+"""Fixture executor: a cache-key scheme with holes (CACHE001).
+
+Two executor-side defects: ``task_key`` forgot to hash the system
+config, and ``_SALT_SOURCES`` does not cover ``config.py`` where
+SystemConfig lives (so editing it would not invalidate cached points).
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from .polling import ProbeConfig, ProbePoint, run_probe
+
+_METHODS = {
+    "probe": (ProbeConfig, run_probe, ProbePoint),
+}
+
+_SALT_SOURCES = ("core",)
+
+
+@dataclass(frozen=True)
+class PointTask:
+    kind: str
+    system: SystemConfig
+    cfg: ProbeConfig
+
+
+def _jsonable(value):
+    return value
+
+
+def task_key(task, salt):
+    doc = {
+        "schema": 1,
+        "salt": salt,
+        "kind": task.kind,
+        # BUG: task.system is missing from the hashed document.
+        "cfg": _jsonable(task.cfg),
+    }
+    blob = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()

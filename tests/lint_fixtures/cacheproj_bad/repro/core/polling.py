@@ -1,0 +1,25 @@
+"""Fixture method config with hash-hostile fields (CACHE001)."""
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Set
+
+
+@dataclass
+class ProbeConfig:
+    msg_bytes: int = 1024
+    #: BUG: sets serialize in arbitrary order — equal configs, different keys.
+    tags: Set[int] = field(default_factory=set)
+    #: BUG: Any is not canonicalized by the key serializer.
+    payload: Any = None
+    #: BUG: ClassVars never appear in dataclasses.fields() — this knob is
+    #: invisible to the cache key.
+    default_depth: ClassVar[int] = 4
+
+
+@dataclass
+class ProbePoint:
+    value_s: float = 0.0
+
+
+def run_probe(system, cfg):
+    return ProbePoint()

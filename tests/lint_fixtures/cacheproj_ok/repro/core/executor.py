@@ -1,0 +1,37 @@
+"""Fixture executor with a sound cache-key scheme (CACHE001 clean)."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from .polling import ProbeConfig, ProbePoint, run_probe
+
+_METHODS = {
+    "probe": (ProbeConfig, run_probe, ProbePoint),
+}
+
+_SALT_SOURCES = ("core", "config.py")
+
+
+@dataclass(frozen=True)
+class PointTask:
+    kind: str
+    system: SystemConfig
+    cfg: ProbeConfig
+
+
+def _jsonable(value):
+    return value
+
+
+def task_key(task, salt):
+    doc = {
+        "schema": 1,
+        "salt": salt,
+        "kind": task.kind,
+        "system": _jsonable(task.system),
+        "cfg": _jsonable(task.cfg),
+    }
+    blob = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()

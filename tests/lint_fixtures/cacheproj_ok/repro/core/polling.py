@@ -1,0 +1,29 @@
+"""Fixture method config with fully hash-stable fields (CACHE001 clean)."""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class ProbeMode(Enum):
+    FAST = "fast"
+    SLOW = "slow"
+
+
+@dataclass
+class ProbeConfig:
+    msg_bytes: int = 1024
+    mode: ProbeMode = ProbeMode.FAST
+    tags: Tuple[int, ...] = ()
+    weights: List[float] = field(default_factory=list)
+    labels: Dict[str, str] = field(default_factory=dict)
+    note: Optional[str] = None
+
+
+@dataclass
+class ProbePoint:
+    value_s: float = 0.0
+
+
+def run_probe(system, cfg):
+    return ProbePoint()

@@ -1,0 +1,17 @@
+"""Fixture: quantity names without unit suffixes (UNIT001)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProbeConfig:
+    timeout: float = 0.5  # expect: UNIT001 (dataclass field)
+    size: int = 1024  # expect: UNIT001 (dataclass field)
+
+
+def summarize(points, interval):  # expect: UNIT001 (parameter)
+    delay = 0.0  # expect: UNIT001 (assignment)
+    for latency in points:  # expect: UNIT001 (for target)
+        delay += latency  # expect: UNIT001 (augmented assignment)
+    t_total = delay  # expect: UNIT001 (t_ temporary)
+    return t_total

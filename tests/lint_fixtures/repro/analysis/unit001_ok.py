@@ -1,0 +1,20 @@
+"""Fixture: unit-suffixed quantity names (UNIT001 clean)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProbeConfig:
+    timeout_s: float = 0.5
+    size_bytes: int = 1024
+    poll_interval_iters: int = 10_000
+
+
+def summarize(points, interval_iters):
+    delay_s = 0.0
+    for latency_s in points:
+        delay_s += latency_s
+    t_total_s = delay_s
+    # Plurals are containers of values, not quantities themselves.
+    sizes = [p for p in points]
+    return t_total_s, sizes

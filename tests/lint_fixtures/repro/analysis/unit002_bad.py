@@ -1,0 +1,8 @@
+"""Fixture: additive arithmetic across units (UNIT002)."""
+
+
+def budget(window_s, slack_us, msg_bytes):
+    total = window_s + slack_us  # expect: UNIT002 (_s + _us)
+    weird = window_s - msg_bytes  # expect: UNIT002 (_s - _bytes)
+    padded = window_s + 3  # expect: UNIT002 (_s + bare literal)
+    return total, weird, padded

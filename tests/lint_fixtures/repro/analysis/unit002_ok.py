@@ -1,0 +1,11 @@
+"""Fixture: dimensionally clean arithmetic (UNIT002 clean)."""
+
+USEC = 1e-6
+
+
+def budget(window_s, slack_us, pad_s):
+    total_s = window_s + slack_us * USEC
+    padded_s = window_s + pad_s
+    zeroed_s = window_s + 0  # additive identity: any unit, allowed
+    scaled_s = window_s * 3  # scaling is dimension-preserving
+    return total_s, padded_s, zeroed_s, scaled_s

@@ -1,0 +1,13 @@
+"""Fixture: every known wall-clock source, each a DET001 violation."""
+
+import time
+from datetime import date, datetime
+from time import perf_counter as tick
+
+
+def stamp_event(payload):
+    started = time.time()  # expect: DET001
+    mono = tick()  # expect: DET001
+    day = date.today()  # expect: DET001
+    stamp = datetime.now()  # expect: DET001
+    return payload, started, mono, day, stamp

@@ -1,0 +1,7 @@
+"""Fixture: virtual-clock timing — no DET001 violations."""
+
+
+def stamp_event(engine, payload):
+    started_s = engine.now
+    timer = engine.timeout(1e-6)
+    return payload, started_s, timer

@@ -1,0 +1,16 @@
+"""Fixture: process-global entropy sources, each a DET002 violation."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def jittered_cost(base_s):
+    wobble = random.gauss(0.0, 1e-7)  # expect: DET002
+    token = uuid.uuid4()  # expect: DET002
+    salt = os.urandom(8)  # expect: DET002
+    gen = np.random.default_rng()  # expect: DET002 (unseeded)
+    extra = np.random.random()  # expect: DET002 (global stream)
+    return base_s + wobble, token, salt, gen, extra

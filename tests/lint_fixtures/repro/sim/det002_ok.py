@@ -1,0 +1,10 @@
+"""Fixture: named-substream RNG discipline — no DET002 violations."""
+
+import numpy as np
+
+
+def jittered_cost(rng_registry, base_s, seed):
+    stream = rng_registry.stream("nic.jitter")
+    wobble = stream.normal(0.0, 1e-7)
+    seeded = np.random.default_rng(seed)
+    return base_s + wobble, seeded

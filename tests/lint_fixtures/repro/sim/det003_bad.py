@@ -1,0 +1,12 @@
+"""Fixture: hash-order set iteration, each a DET003 violation."""
+
+
+def drain(queues):
+    ready = {q for q in queues if q}
+    for q in ready:  # expect: DET003 (name bound to a set comp)
+        q.flush()
+    for tag in {1, 5, 9}:  # expect: DET003 (set literal)
+        print_tag = tag
+    order = list(set(queues))  # expect: DET003 (list(set(...)))
+    pairs = [(a, a) for a in frozenset(queues)]  # expect: DET003
+    return order, pairs, print_tag

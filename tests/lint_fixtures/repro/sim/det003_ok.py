@@ -1,0 +1,11 @@
+"""Fixture: sorted set consumption — no DET003 violations."""
+
+
+def drain(queues):
+    ready = {q for q in queues if q}
+    for q in sorted(ready):
+        q.flush()
+    n_ready = len(ready)
+    biggest = max(ready) if ready else None
+    order = sorted(set(queues))
+    return order, n_ready, biggest

@@ -1,0 +1,7 @@
+"""Fixture: per-process hash()/id() in simulation logic (DET004)."""
+
+
+def route_key(packet):
+    bucket = hash(packet.flow_label) % 8  # expect: DET004
+    tiebreak = id(packet)  # expect: DET004
+    return bucket, tiebreak

@@ -1,0 +1,13 @@
+"""Fixture: stable ordering keys; id() only in __repr__ (DET004 clean)."""
+
+
+class Packet:
+    def __init__(self, seqno, flow_label):
+        self.seqno = seqno
+        self.flow_label = flow_label
+
+    def route_key(self):
+        return (self.flow_label, self.seqno)
+
+    def __repr__(self):
+        return f"<Packet {self.seqno} at {id(self):#x}>"

@@ -1,0 +1,14 @@
+"""Fixture: host I/O inside an engine hot path (SIM001)."""
+
+import subprocess
+import time
+from pathlib import Path
+
+
+def progress_loop(state):
+    time.sleep(0.01)  # expect: SIM001
+    log = open("/tmp/sim.log", "a")  # expect: SIM001
+    print("polling", state)  # expect: SIM001
+    subprocess.run(["sync"])  # expect: SIM001
+    Path("/tmp/x").write_text("state")  # expect: SIM001
+    return log

@@ -1,0 +1,7 @@
+"""Fixture: hot path that only touches simulation state (SIM001 clean)."""
+
+
+def progress_loop(engine, state, trace):
+    if trace is not None:
+        trace.record(engine.now, "device", "poll", (state,))
+    yield engine.timeout(4e-7)

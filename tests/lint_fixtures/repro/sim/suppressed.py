@@ -1,0 +1,17 @@
+"""Fixture: inline and file-wide suppressions.
+
+The file-wide directive waives DET004 everywhere; the inline directive
+waives exactly one DET001 hit.  The second time.time() call is NOT
+suppressed and must still be reported.
+"""
+
+# comb-lint: disable-file=DET004
+
+import time
+
+
+def measure(packet):
+    t0_s = time.time()  # comb-lint: disable=DET001
+    t1_s = time.time()  # NOT suppressed: DET001
+    bucket = hash(packet)  # waived by the file-wide DET004 directive
+    return t1_s - t0_s, bucket

@@ -14,18 +14,18 @@ KB = 1024
 
 class TestPingPong:
     def test_latency_positive_and_ordered(self, gm):
-        small = run_pingpong(gm, 0, repeats=5, warmup=1)
-        large = run_pingpong(gm, 100 * KB, repeats=5, warmup=1)
+        small = run_pingpong(gm, 0, repeats=5, warmup_msgs=1)
+        large = run_pingpong(gm, 100 * KB, repeats=5, warmup_msgs=1)
         assert 0 < small.latency_s < large.latency_s
 
     def test_bandwidth_grows_with_size(self, either_system):
-        mid = run_pingpong(either_system, 10 * KB, repeats=5, warmup=1)
-        big = run_pingpong(either_system, 300 * KB, repeats=5, warmup=1)
+        mid = run_pingpong(either_system, 10 * KB, repeats=5, warmup_msgs=1)
+        big = run_pingpong(either_system, 300 * KB, repeats=5, warmup_msgs=1)
         assert big.bandwidth_MBps > mid.bandwidth_MBps
 
     def test_gm_beats_portals_on_latency(self, gm, portals):
-        g = run_pingpong(gm, 100 * KB, repeats=5, warmup=1)
-        p = run_pingpong(portals, 100 * KB, repeats=5, warmup=1)
+        g = run_pingpong(gm, 100 * KB, repeats=5, warmup_msgs=1)
+        p = run_pingpong(portals, 100 * KB, repeats=5, warmup_msgs=1)
         assert g.latency_s < p.latency_s
 
     def test_validation(self, gm):
@@ -33,7 +33,7 @@ class TestPingPong:
             run_pingpong(gm, 1024, repeats=0)
 
     def test_zero_byte_bandwidth_is_zero(self, gm):
-        r = run_pingpong(gm, 0, repeats=3, warmup=1)
+        r = run_pingpong(gm, 0, repeats=3, warmup_msgs=1)
         assert r.bandwidth_Bps == 0.0
 
 

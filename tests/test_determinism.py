@@ -34,8 +34,8 @@ class TestDeterminism:
         assert (a.post_s, a.work_s, a.wait_s) == (b.post_s, b.work_s, b.wait_s)
 
     def test_pingpong_repeatable(self, factory):
-        a = run_pingpong(factory(), 30 * KB, repeats=4, warmup=1)
-        b = run_pingpong(factory(), 30 * KB, repeats=4, warmup=1)
+        a = run_pingpong(factory(), 30 * KB, repeats=4, warmup_msgs=1)
+        b = run_pingpong(factory(), 30 * KB, repeats=4, warmup_msgs=1)
         assert a.latency_s == b.latency_s
 
     def test_netperf_repeatable(self, factory):

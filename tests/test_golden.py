@@ -47,7 +47,7 @@ def compute_current() -> dict:
             "work_s": pw.work_s,
             "wait_s": pw.wait_s,
         }
-        pp = run_pingpong(factory(), 100 * KB, repeats=5, warmup=1)
+        pp = run_pingpong(factory(), 100 * KB, repeats=5, warmup_msgs=1)
         out[f"{name}.pingpong.100KB"] = {"latency_s": pp.latency_s}
     return out
 

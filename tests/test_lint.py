@@ -1,0 +1,267 @@
+"""Tests for the comb-lint static analyzer (src/repro/lint/).
+
+Each rule has a deliberately violating fixture module and a clean
+counterpart under tests/lint_fixtures/.  Violating lines are annotated
+in-source with ``# expect: RULE`` comments; the tests assert the linter
+reports exactly those (rule, line) pairs — no more, no fewer.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    NEVER_BASELINE_PREFIXES,
+    Baseline,
+    all_rule_classes,
+    format_json,
+    lint_paths,
+    rule_catalog,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SIM_FIX = FIXTURES / "repro" / "sim"
+ANALYSIS_FIX = FIXTURES / "repro" / "analysis"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+[0-9]{3})")
+
+
+def expected_hits(path):
+    """(rule, line) pairs parsed from ``# expect: RULE`` annotations."""
+    hits = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        m = _EXPECT_RE.search(text)
+        if m:
+            hits.add((m.group(1), lineno))
+    assert hits, f"fixture {path} has no '# expect:' annotations"
+    return hits
+
+
+def actual_hits(report):
+    return {(v.rule, v.line) for v in report.violations}
+
+
+BAD_FIXTURES = [
+    SIM_FIX / "det001_bad.py",
+    SIM_FIX / "det002_bad.py",
+    SIM_FIX / "det003_bad.py",
+    SIM_FIX / "det004_bad.py",
+    SIM_FIX / "sim001_bad.py",
+    ANALYSIS_FIX / "unit001_bad.py",
+    ANALYSIS_FIX / "unit002_bad.py",
+]
+
+OK_FIXTURES = [
+    SIM_FIX / "det001_ok.py",
+    SIM_FIX / "det002_ok.py",
+    SIM_FIX / "det003_ok.py",
+    SIM_FIX / "det004_ok.py",
+    SIM_FIX / "sim001_ok.py",
+    ANALYSIS_FIX / "unit001_ok.py",
+    ANALYSIS_FIX / "unit002_ok.py",
+]
+
+
+@pytest.mark.parametrize(
+    "fixture", BAD_FIXTURES, ids=[p.stem for p in BAD_FIXTURES]
+)
+def test_bad_fixture_reports_each_annotated_line(fixture):
+    report = lint_paths([fixture])
+    assert actual_hits(report) == expected_hits(fixture)
+    for v in report.violations:
+        assert v.path.endswith(fixture.name)
+        assert v.severity == "error"
+        assert v.message
+
+
+@pytest.mark.parametrize(
+    "fixture", OK_FIXTURES, ids=[p.stem for p in OK_FIXTURES]
+)
+def test_ok_fixture_is_clean(fixture):
+    report = lint_paths([fixture])
+    assert report.ok, [v.to_dict() for v in report.violations]
+    assert not report.violations
+    assert not report.parse_errors
+
+
+def test_every_rule_has_a_bad_and_ok_fixture():
+    fixture_rules = {p.stem.split("_")[0].upper() for p in BAD_FIXTURES}
+    fixture_rules.add("CACHE001")  # covered by the cacheproj trees below
+    for cls in all_rule_classes():
+        assert cls.rule_id in fixture_rules
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def test_inline_and_filewide_suppressions():
+    report = lint_paths([SIM_FIX / "suppressed.py"])
+    # Only the second, unsuppressed time.time() call gates.
+    assert [(v.rule, v.line) for v in report.violations] == [("DET001", 15)]
+    waived = {(v.rule, v.line) for v in report.suppressed}
+    assert ("DET001", 14) in waived  # inline disable=DET001
+    assert ("DET004", 16) in waived  # file-wide disable-file=DET004
+
+
+# ------------------------------------------------------------ CACHE001
+
+
+def test_cache001_bad_project():
+    report = lint_paths([FIXTURES / "cacheproj_bad"])
+    rules = [v.rule for v in report.violations]
+    assert rules == ["CACHE001"] * 5
+    messages = " | ".join(v.message for v in report.violations)
+    assert "no longer hashes 'system'" in messages
+    assert "_SALT_SOURCES" in messages
+    assert "Set is unordered" in messages
+    assert "ClassVar" in messages
+    assert "Any is not hash-stable" in messages
+
+
+def test_cache001_ok_project():
+    report = lint_paths([FIXTURES / "cacheproj_ok"])
+    assert report.ok, [v.to_dict() for v in report.violations]
+
+
+# ------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    fixture = ANALYSIS_FIX / "unit001_bad.py"
+    first = lint_paths([fixture])
+    assert first.violations
+
+    baseline = Baseline.from_violations(first.violations)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+
+    reloaded = Baseline.load(path)
+    second = lint_paths([fixture], baseline=reloaded)
+    assert second.ok
+    assert not second.violations
+    assert len(second.baselined) == len(first.violations)
+
+    # A file the baseline has never seen still gates.
+    other = lint_paths([ANALYSIS_FIX / "unit002_bad.py"], baseline=reloaded)
+    assert not other.ok
+
+
+def test_baseline_fingerprint_survives_line_shift(tmp_path, monkeypatch):
+    source = (ANALYSIS_FIX / "unit001_bad.py").read_text()
+    target = tmp_path / "repro" / "analysis" / "unit001_bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+
+    monkeypatch.chdir(tmp_path)
+    baseline = Baseline.from_violations(lint_paths([target]).violations)
+
+    # Shift every violation down three lines; fingerprints must hold.
+    target.write_text("# padding comment\n" * 3 + source)
+    report = lint_paths([target], baseline=baseline)
+    assert report.ok, "fingerprints must not depend on line numbers"
+    assert not report.violations
+    assert report.baselined
+
+
+def test_det_and_cache_can_never_be_baselined():
+    assert "DET" in NEVER_BASELINE_PREFIXES
+    assert "CACHE" in NEVER_BASELINE_PREFIXES
+    det_report = lint_paths([SIM_FIX / "det001_bad.py"])
+    baseline = Baseline.from_violations(det_report.violations)
+    assert baseline.forbidden_entries()
+
+
+def test_cli_rejects_baseline_with_det_entries(tmp_path, capsys):
+    det_report = lint_paths([SIM_FIX / "det001_bad.py"])
+    path = tmp_path / "bad_baseline.json"
+    Baseline.from_violations(det_report.violations).save(path)
+
+    rc = cli_main(
+        ["lint", str(SIM_FIX / "det001_ok.py"), "--baseline", str(path)]
+    )
+    assert rc == 2
+    assert "baseline" in capsys.readouterr().err.lower()
+
+
+# ---------------------------------------------------------------- gate
+
+
+def test_real_tree_is_clean_with_empty_baseline():
+    """The acceptance gate: ``comb lint src/`` exits 0, no baselining."""
+    report = lint_paths([Path(__file__).parent.parent / "src"])
+    assert report.ok, [v.to_dict() for v in report.violations]
+    assert not report.violations
+    assert not report.parse_errors
+    assert report.files_checked > 50
+
+
+def test_shipped_baseline_is_empty():
+    repo = Path(__file__).parent.parent
+    doc = json.loads((repo / "tools" / "lint_baseline.json").read_text())
+    assert doc["entries"] == []
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_json_output(capsys):
+    rc = cli_main(
+        [
+            "lint",
+            str(SIM_FIX / "det001_bad.py"),
+            "--no-baseline",
+            "--format=json",
+        ]
+    )
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["counts"]["new"] == 4
+    assert doc["by_rule"] == {"DET001": 4}
+    assert all(v["rule"] == "DET001" for v in doc["violations"])
+
+
+def test_cli_select_filters_rules(capsys):
+    rc = cli_main(
+        [
+            "lint",
+            str(ANALYSIS_FIX / "unit001_bad.py"),
+            "--no-baseline",
+            "--select",
+            "UNIT002",
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0  # UNIT001 hits filtered out by --select UNIT002
+
+
+def test_cli_list_rules(capsys):
+    rc = cli_main(["lint", "--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for cls in all_rule_classes():
+        assert cls.rule_id in out
+
+
+def test_format_json_is_deterministic():
+    report = lint_paths([SIM_FIX / "det002_bad.py"])
+    assert format_json(report) == format_json(report)
+
+
+def test_rule_catalog_complete():
+    catalog = rule_catalog()
+    assert set(catalog) == {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "UNIT001",
+        "UNIT002",
+        "CACHE001",
+        "SIM001",
+    }
+    for summary in catalog.values():
+        assert summary

@@ -78,7 +78,7 @@ class TestCleanRuns:
         # Benchmark drivers stop mid-flight: live checks only.
         san = Sanitizer()
         with use_sanitizer(san):
-            run_pingpong(SYSTEMS[name](), size, repeats=3, warmup=1)
+            run_pingpong(SYSTEMS[name](), size, repeats=3, warmup_msgs=1)
         assert san.finalize() == [], san.summary()
 
     @pytest.mark.parametrize("name", ["GM", "Portals"])
