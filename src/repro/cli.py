@@ -21,6 +21,20 @@ simulation sanitizer — runtime invariant checks over every simulated
 point (see :mod:`repro.verify`).  Output values are unchanged; the exit
 status is 1 if any invariant was violated.  Cached points are returned
 as-is (they were checked, or checkable, when first simulated).
+
+``--metrics`` (on ``figures``, ``report``) attaches the observability
+layer (:mod:`repro.obs`): simulation metrics (phase breakdowns, poll
+hit/miss, queue depths) plus wall-clock executor profiles (cache lookup
+latency, fan-out utilization) land in a ``metrics.json`` sidecar next to
+the results.  Figure values are bit-identical with or without it.  Note:
+with ``--jobs > 1`` points simulate in worker processes, whose simulation
+events stay there — sim metrics cover in-process points; executor stage
+profiles always cover everything.
+
+``comb trace <figure|polling|pww>`` runs one figure or one point with
+the full tracer attached (forced serial, uncached, so every event is
+captured) and exports a Chrome ``trace_event`` JSON (loads in
+``about:tracing`` / Perfetto), a CSV timeline, and the metrics sidecar.
 """
 
 from __future__ import annotations
@@ -64,6 +78,11 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"point-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="attach the observability layer and write a metrics.json "
+        "sidecar next to the results (values are unchanged)",
+    )
     _add_check_flag(parser)
 
 
@@ -75,9 +94,33 @@ def _add_check_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_executor(args: argparse.Namespace) -> SweepExecutor:
+def _make_executor(args: argparse.Namespace, metrics=None) -> SweepExecutor:
     cache = None if args.no_cache else PointCache(args.cache_dir)
-    return SweepExecutor(jobs=args.jobs, cache=cache, check=args.check)
+    return SweepExecutor(jobs=args.jobs, cache=cache, check=args.check,
+                         metrics=metrics)
+
+
+def _maybe_observer(args: argparse.Namespace):
+    """A fresh :class:`~repro.obs.Observer` when ``--metrics`` is set,
+    else ``None`` (``use_observer(None)`` is a no-op)."""
+    if not getattr(args, "metrics", False):
+        return None
+    from .obs import Observer
+
+    return Observer()
+
+
+def _write_metrics_sidecar(observer, executor: SweepExecutor, out_dir) -> None:
+    """Write the ``metrics.json`` sidecar and print its location."""
+    from pathlib import Path
+
+    from .obs import write_metrics
+
+    doc = observer.to_dict()
+    doc["executor"] = executor.stats.to_dict()
+    path = write_metrics(doc.pop("metrics"), Path(out_dir) / "metrics.json",
+                         extra=doc)
+    print(f"wrote {path}")
 
 
 def _report_violations(violations) -> int:
@@ -171,6 +214,29 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="poll interval (loop iterations)")
 
     p = sub.add_parser(
+        "trace",
+        help="run a figure or single point with the observability layer "
+        "attached; export Chrome trace JSON + CSV timeline + metrics",
+    )
+    p.add_argument("target",
+                   help="figure id (fig04..fig17), 'polling', or 'pww'")
+    _add_system(p)
+    p.add_argument("--size", type=float, default=100,
+                   help="message size (KB; point targets)")
+    p.add_argument("--interval", type=int, default=None,
+                   help="poll/work interval in loop iterations "
+                   "(point targets; default: the method's default)")
+    p.add_argument("--per-decade", type=int, default=1,
+                   help="grid resolution (figure targets; default: 1)")
+    p.add_argument("--out", default="results/trace",
+                   help="export directory (default: results/trace)")
+    p.add_argument("--ring-capacity", type=_positive_int, default=65536,
+                   help="per-kind event ring size (newest events survive)")
+    p.add_argument("--kernel", action="store_true",
+                   help="also record the per-event kernel stream (very "
+                   "noisy; inflates the trace by orders of magnitude)")
+
+    p = sub.add_parser(
         "lint",
         help="static determinism/units/cache-key checks (comb-lint)",
     )
@@ -248,6 +314,78 @@ def _run_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """``comb trace``: one observed run, three export files."""
+    from pathlib import Path
+
+    from .analysis.figures import ALL_FIGURES
+    from .obs import (
+        Observer,
+        use_observer,
+        write_chrome_trace,
+        write_csv_timeline,
+        write_metrics,
+    )
+
+    observer = Observer(ring_capacity=args.ring_capacity, kernel=args.kernel)
+    target = args.target
+    executor_stats = None
+    if target == "polling":
+        system = get_system(args.system)
+        with use_observer(observer):
+            run_polling(system, PollingConfig(
+                msg_bytes=int(args.size * 1024),
+                poll_interval_iters=args.interval or 10_000,
+            ))
+        label = f"comb polling {system.name}"
+    elif target == "pww":
+        system = get_system(args.system)
+        with use_observer(observer):
+            run_pww(system, PwwConfig(
+                msg_bytes=int(args.size * 1024),
+                work_interval_iters=(
+                    args.interval if args.interval is not None else 100_000
+                ),
+            ))
+        label = f"comb pww {system.name}"
+    elif target in ALL_FIGURES:
+        # Forced serial + uncached: cached points never simulate (no
+        # events) and pooled points simulate in other processes (events
+        # stranded there) — tracing wants the complete timeline.
+        from .analysis import run_figure as _run_figure
+
+        with SweepExecutor(jobs=1, cache=None,
+                           metrics=observer.metrics) as executor:
+            with use_observer(observer):
+                _run_figure(target, per_decade=args.per_decade,
+                            executor=executor)
+            executor_stats = executor.stats
+        label = f"comb {target}"
+    else:
+        print(f"error: unknown trace target {target!r}; expected a figure "
+              f"id ({'/'.join(sorted(ALL_FIGURES))}), 'polling', or 'pww'",
+              file=sys.stderr)
+        return 2
+
+    events = observer.events()
+    out_dir = Path(args.out)
+    paths = [
+        write_chrome_trace(events, out_dir / f"{target}.trace.json",
+                           label=label),
+        write_csv_timeline(events, out_dir / f"{target}.timeline.csv"),
+    ]
+    doc = observer.to_dict()
+    if executor_stats is not None:
+        doc["executor"] = executor_stats.to_dict()
+    paths.append(write_metrics(doc.pop("metrics"),
+                               out_dir / f"{target}.metrics.json", extra=doc))
+    print(observer.summary())
+    for path in paths:
+        print(f"wrote {path}")
+    print(f"open {paths[0]} in about:tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -308,12 +446,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figures":
-        with _make_executor(args) as executor:
-            reports = run_all(per_decade=args.per_decade, fig_ids=args.ids,
-                              executor=executor)
-        if args.out:
-            paths = export_figures([r.figure for r in reports], args.out)
-            print(f"wrote {len(paths)} files to {args.out}")
+        from .obs.context import use_observer
+
+        observer = _maybe_observer(args)
+        with _make_executor(
+            args, metrics=observer.metrics if observer else None
+        ) as executor:
+            with use_observer(observer):
+                reports = run_all(per_decade=args.per_decade,
+                                  fig_ids=args.ids, executor=executor)
+            if args.out:
+                paths = export_figures([r.figure for r in reports], args.out)
+                print(f"wrote {len(paths)} files to {args.out}")
+            if observer is not None:
+                _write_metrics_sidecar(observer, executor,
+                                       args.out or "results")
         for rep in reports:
             if not args.no_plots:
                 print(render(rep.figure))
@@ -382,9 +529,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         return _run_lint(args)
 
+    if args.command == "trace":
+        return _run_trace(args)
+
     if args.command == "report":
-        with _make_executor(args) as executor:
-            reports = run_all(per_decade=args.per_decade, executor=executor)
+        from .obs.context import use_observer
+
+        observer = _maybe_observer(args)
+        with _make_executor(
+            args, metrics=observer.metrics if observer else None
+        ) as executor:
+            with use_observer(observer):
+                reports = run_all(per_decade=args.per_decade,
+                                  executor=executor)
+            if observer is not None:
+                _write_metrics_sidecar(observer, executor, "results")
         print(format_report(reports))
         if args.check and _report_violations(executor.violations):
             return 1

@@ -34,13 +34,16 @@ import json
 import multiprocessing
 import multiprocessing.pool
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
+from functools import partial
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
 from .results import PollingPoint, PwwPoint
@@ -101,6 +104,26 @@ def run_task_checked(task: PointTask) -> Tuple[Point, List[Any]]:
     with use_sanitizer(sanitizer):
         point = run_task(task)
     return point, sanitizer.finalize()
+
+
+def _sim_entry(
+    task: PointTask, check: bool = False, timed: bool = False
+) -> Tuple[Point, List[Any], float]:
+    """Uniform worker entry: ``(point, violations, wall_s)``.
+
+    Module-level so ``functools.partial`` of it pickles into the spawn
+    pool.  ``wall_s`` is measured *inside* the worker, so pool timings
+    profile simulation cost, not dispatch latency.  With ``timed`` and
+    ``check`` both off this is :func:`run_task` plus two constants —
+    the point itself is bit-identical in every mode.
+    """
+    t0_wall = time.perf_counter() if timed else 0.0
+    if check:
+        point, violations = run_task_checked(task)
+    else:
+        point, violations = run_task(task), []
+    wall_s = time.perf_counter() - t0_wall if timed else 0.0
+    return point, violations, wall_s
 
 
 # --------------------------------------------------------------------- keys
@@ -169,6 +192,8 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: Corrupt on-disk records evicted during this executor's lookups.
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -183,6 +208,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -202,6 +228,8 @@ class PointCache:
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        #: Corrupt records detected (and removed) over this cache's lifetime.
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -231,9 +259,9 @@ class PointCache:
             self._evict_corrupt(path)
             return None
 
-    @staticmethod
-    def _evict_corrupt(path: Path) -> None:
-        """Best-effort removal of an unreadable record."""
+    def _evict_corrupt(self, path: Path) -> None:
+        """Best-effort removal of an unreadable record (always counted)."""
+        self.evictions += 1
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing eviction is fine
@@ -285,6 +313,12 @@ class SweepExecutor:
         :attr:`violations`.  Observation-only: checked points are
         bit-identical to unchecked ones.  Off by default — the default
         path never imports or touches the verify package.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        wall-clock stage profiles: cache hit/miss lookup latency
+        histograms, per-point simulation wall times, and worker fan-out
+        utilization per batch.  ``None`` (default) skips all wall-clock
+        reads — the unprofiled path takes no timestamps at all.
     """
 
     def __init__(
@@ -293,6 +327,7 @@ class SweepExecutor:
         cache: Union[None, str, Path, PointCache] = None,
         memoize: bool = True,
         check: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -302,11 +337,14 @@ class SweepExecutor:
         self.cache = cache
         self.memoize = memoize
         self.check = check
+        self.metrics = metrics
         self.stats = CacheStats()
         #: Violations collected from checked simulations (``check=True``).
         self.violations: List[Any] = []
         self._memo: Dict[str, Any] = {}
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_size = 0
+        self._evictions_base = cache.evictions if cache is not None else 0
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -332,7 +370,8 @@ class SweepExecutor:
         """Lazily create (and reuse) the spawn-context worker pool."""
         if self._pool is None:
             ctx = multiprocessing.get_context("spawn")
-            self._pool = ctx.Pool(processes=min(self.jobs, max(want, 1)))
+            self._pool_size = min(self.jobs, max(want, 1))
+            self._pool = ctx.Pool(processes=self._pool_size)
         return self._pool
 
     # ------------------------------------------------------------- execution
@@ -344,6 +383,7 @@ class SweepExecutor:
         and written back to the cache.
         """
         salt = code_salt()
+        lookup = self._lookup if self.metrics is None else self._lookup_profiled
         results: List[Any] = [None] * len(tasks)
         pending: List[Tuple[int, str, PointTask]] = []
         first_for_key: Dict[str, int] = {}
@@ -356,7 +396,7 @@ class SweepExecutor:
                 # so ``misses`` always equals the number of simulations.
                 duplicates.append((i, first_for_key[key]))
                 continue
-            point = self._lookup(key, task.kind)
+            point = lookup(key, task.kind)
             if point is not None:
                 results[i] = point
             else:
@@ -383,6 +423,7 @@ class SweepExecutor:
             return dataclasses.replace(self._memo[key])
         if self.cache is not None:
             point = self.cache.get(key, kind)
+            self.stats.evictions = self.cache.evictions - self._evictions_base
             if point is not None:
                 self.stats.hits += 1
                 if self.memoize:
@@ -391,6 +432,29 @@ class SweepExecutor:
         self.stats.misses += 1
         return None
 
+    def _lookup_profiled(self, key: str, kind: str) -> Optional[Point]:
+        """:meth:`_lookup` wrapped in wall-clock metrics (``metrics`` set)."""
+        metrics = self.metrics
+        assert metrics is not None
+        evictions_before = self.stats.evictions
+        t0_wall = time.perf_counter()
+        point = self._lookup(key, kind)
+        wall_s = time.perf_counter() - t0_wall
+        if point is not None:
+            metrics.counter("executor.cache.hits").inc()
+            metrics.histogram(
+                "executor.lookup_hit_s", DEFAULT_LATENCY_BUCKETS_S
+            ).observe(wall_s)
+        else:
+            metrics.counter("executor.cache.misses").inc()
+            metrics.histogram(
+                "executor.lookup_miss_s", DEFAULT_LATENCY_BUCKETS_S
+            ).observe(wall_s)
+        evicted = self.stats.evictions - evictions_before
+        if evicted:
+            metrics.counter("executor.cache.evictions").inc(evicted)
+        return point
+
     def _store(self, key: str, kind: str, point: Point) -> None:
         if self.memoize:
             self._memo[key] = dataclasses.replace(point)
@@ -398,21 +462,45 @@ class SweepExecutor:
             self.cache.put(key, kind, point)
 
     def _simulate(self, tasks: Sequence[PointTask]) -> List[Any]:
-        worker = run_task_checked if self.check else run_task
-        if self.jobs > 1 and len(tasks) > 1:
+        metrics = self.metrics
+        timed = metrics is not None
+        t_batch0_s = time.perf_counter() if timed else 0.0
+        entry = partial(_sim_entry, check=self.check, timed=timed)
+        pooled = self.jobs > 1 and len(tasks) > 1
+        if pooled:
             pool = self._get_pool(len(tasks))
             # chunksize=1: tasks are coarse (whole simulations); dynamic
             # dispatch balances wildly uneven point costs.  pool.map keeps
             # result order == task order, preserving determinism.
-            raw = pool.map(worker, tasks, chunksize=1)
+            raw = pool.map(entry, tasks, chunksize=1)
         else:
-            raw = [worker(t) for t in tasks]
-        if not self.check:
-            return raw
-        points = []
-        for point, violations in raw:
+            raw = [entry(t) for t in tasks]
+        points: List[Any] = []
+        busy_s = 0.0
+        for point, violations, wall_s in raw:
             points.append(point)
-            self.violations.extend(violations)
+            if violations:
+                self.violations.extend(violations)
+            busy_s += wall_s
+        if timed:
+            assert metrics is not None
+            batch_wall_s = time.perf_counter() - t_batch0_s
+            metrics.counter("executor.batches").inc()
+            metrics.counter("executor.points_simulated").inc(len(tasks))
+            metrics.counter("executor.simulate_wall_s").inc(batch_wall_s)
+            task_hist = metrics.histogram(
+                "executor.task_wall_s", DEFAULT_LATENCY_BUCKETS_S
+            )
+            for _point, _violations, wall_s in raw:
+                task_hist.observe(wall_s)
+            # Fraction of the batch's worker-slot capacity spent simulating
+            # (1.0 = perfectly packed; low values = stragglers or idle
+            # workers).  Serial batches have exactly one slot.
+            slots = self._pool_size if pooled else 1
+            if batch_wall_s > 0:
+                metrics.gauge("executor.fanout_utilization").set(
+                    busy_s / (batch_wall_s * slots)
+                )
         return points
 
 

@@ -90,6 +90,10 @@ def _worker(
     dev = h.device
     cpu = ctx.cpu
 
+    # Tracer seam (observability): hoisted so the detached path pays one
+    # ``is None`` check per poll and nothing else.
+    trace = engine.trace
+
     iter_s = system.machine.cpu.work_iter_s
     p_iters = cfg.poll_interval_iters
     work_s = p_iters * iter_s
@@ -124,6 +128,9 @@ def _worker(
         iters_done += p_iters
         done_idx = yield from h.testsome(recv_reqs)
         polls += 1
+        if trace is not None:
+            # Schema: (completions,) — 0 is a miss, > 0 a hit.
+            trace.record(engine.now, "rank0.polling", "poll", (len(done_idx),))
         if done_idx:
             for i in done_idx:
                 # Answer each arrived message and replace the receive.
@@ -150,6 +157,11 @@ def _worker(
                     yield ctx.compute(remainder)
                 iters_done += cycles * p_iters
                 polls += cycles
+                if trace is not None:
+                    # Schema: (empty_cycles,) — an aggregated run of
+                    # misses ending at the cycle boundary just computed.
+                    trace.record(engine.now, "rank0.polling", "poll_empty",
+                                 (cycles,))
 
         # ------------------------------------------------- window control
         now = engine.now

@@ -108,6 +108,9 @@ def _worker(
     node = world.cluster[0]
     ctx = node.new_context("comb.pww.worker")
     h = world.endpoint(0).bind(ctx)
+    # Tracer seam (observability): hoisted so the detached path pays one
+    # ``is None`` check per batch and nothing else.
+    trace = engine.trace
 
     iter_s = system.machine.cpu.work_iter_s
     work_dry_s = cfg.work_interval_iters * iter_s
@@ -156,6 +159,10 @@ def _worker(
             yield from h.waitall(oldest)
         t3 = engine.now
         records.append(PwwBatch(post_s=t1 - t0, work_s=t2 - t1, wait_s=t3 - t2))
+        if trace is not None:
+            # Schema: (batch_index, cycle_start_s, post_s, work_s, wait_s).
+            trace.record(t3, "rank0.pww", "pww_phase",
+                         (b, t0, t1 - t0, t2 - t1, t3 - t2))
 
     # Drain any interleaved leftovers outside the measurement (the last
     # measured batch's wait already happened above when interleave == 1).

@@ -69,18 +69,28 @@ def build_world(
 ) -> World:
     """Build a fresh deterministic world: rank *i* lives on node *i*.
 
-    If no explicit ``tracer`` is given and a sanitizer is ambient (see
-    :func:`repro.verify.use_sanitizer`), its dispatch-only tracer is
-    attached and the sanitizer is installed on the built world, so runs
-    inside a ``use_sanitizer`` block are invariant-checked transparently.
+    If no explicit ``tracer`` is given, ambient attachments are resolved:
+    a sanitizer (see :func:`repro.verify.use_sanitizer`) and/or an
+    observer (see :func:`repro.obs.use_observer`).  Each contributes its
+    tracer to the engine's trace seam — both at once share it through a
+    :class:`~repro.sim.trace.MultiTracer` — and is installed on the built
+    world (sanitizer first, so the observer chains its queue hooks after
+    the sanitizer's rather than replacing them).
     """
-    sanitizer = None
+    attachments: list = []
     if tracer is None:
+        from ..obs.context import current_observer
         from ..verify.context import current_sanitizer
 
-        sanitizer = current_sanitizer()
-        if sanitizer is not None:
-            tracer = sanitizer.tracer
+        for ambient in (current_sanitizer(), current_observer()):
+            if ambient is not None:
+                attachments.append(ambient)
+        if len(attachments) == 1:
+            tracer = attachments[0].tracer
+        elif attachments:
+            from ..sim.trace import MultiTracer
+
+            tracer = MultiTracer([a.tracer for a in attachments])
     engine = Engine(trace=tracer)
     cluster = Cluster(engine, system, n_nodes=n_nodes, tracer=tracer)
     devices = [
@@ -93,6 +103,6 @@ def build_world(
         Endpoint(engine, dev, rank, n_nodes) for rank, dev in enumerate(devices)
     ]
     world = World(engine, system, cluster, endpoints, tracer)
-    if sanitizer is not None:
-        sanitizer.install(world)
+    for ambient in attachments:
+        ambient.install(world)
     return world

@@ -1,0 +1,68 @@
+"""``repro.obs`` — the observability layer: tracing, metrics, profiling.
+
+The subsystem rides the same ambient-attach pattern as the sanitizer
+(:mod:`repro.verify`): an :class:`Observer` made ambient with
+:func:`use_observer` attaches its :class:`ObsTracer` to every world built
+inside the block through the simulator's ``Tracer`` seam.  Detached, the
+hot paths pay a single ``is None`` check per emission site — zero
+allocation, zero I/O.
+
+Three layers, usable independently:
+
+* :class:`ObsTracer` — a structured event tracer that records
+  engine/MPI/transport events into per-kind ring buffers
+  (:class:`RingBuffer`), bounding memory regardless of run length.
+* :class:`MetricsRegistry` — named :class:`Counter`\\ s, :class:`Gauge`\\ s
+  and fixed-bucket :class:`Histogram`\\ s; the :class:`Observer` derives
+  simulation metrics (phase breakdowns, poll hit/miss, rendezvous stalls,
+  queue depths) from trace events, and :class:`~repro.core.executor.
+  SweepExecutor` feeds wall-clock stage profiles into the same registry.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loads in
+  ``about:tracing`` / Perfetto) and CSV timelines, stamped with
+  :data:`TRACE_SCHEMA_VERSION`.
+
+The observer never influences the simulation: every hook is a passive
+read, which is what keeps observed runs bit-identical to bare runs (the
+differential battery in ``tests/test_golden.py`` and
+``tests/test_obs_properties.py`` enforces exactly that).
+"""
+
+from .context import current_observer, use_observer
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    write_chrome_trace,
+    write_csv_timeline,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIM_TIME_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observer import Observer
+from .ring import RingBuffer
+from .tracer import ObsEvent, ObsTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SIM_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsEvent",
+    "ObsTracer",
+    "Observer",
+    "RingBuffer",
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace",
+    "current_observer",
+    "use_observer",
+    "write_chrome_trace",
+    "write_csv_timeline",
+    "write_metrics",
+]

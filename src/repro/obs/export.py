@@ -1,0 +1,167 @@
+"""Trace and metrics exporters: Chrome ``trace_event`` JSON, CSV, sidecars.
+
+The Chrome format is the `trace_event` JSON-array flavour consumed by
+``about:tracing`` and Perfetto: one object per event with ``ph`` (phase),
+``ts``/``dur`` in *microseconds*, and integer ``pid``/``tid``.  Mapping:
+
+* ``pww_phase`` events expand into three ``"X"`` (complete) slices —
+  post, work, wait — so the PWW cycle structure is visible as nested
+  bars on the worker's row;
+* queue-depth (``q_*``) and GM-token events become ``"C"`` (counter)
+  tracks;
+* every other event is an ``"i"`` (instant) mark on its source's row.
+
+Each export carries :data:`TRACE_SCHEMA_VERSION` in ``otherData``.
+Compatibility rule: within one schema version, changes are strictly
+additive (new kinds, new ``args`` keys); renaming or removing a kind, or
+changing the meaning of an existing ``detail`` tuple slot, bumps the
+version.  Consumers must ignore kinds and args they do not know.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .metrics import MetricsRegistry
+from .observer import _DEPTH_DELTA
+from .tracer import ObsEvent
+
+#: Version stamp written into every trace/metrics export (see the module
+#: docstring for the compatibility rule).
+TRACE_SCHEMA_VERSION = 1
+
+_SEC_TO_US = 1e6
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON-safe form of an event detail (repr fallback, never raises)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace(
+    events: Sequence[ObsEvent], label: str = "comb"
+) -> Dict[str, Any]:
+    """Render ``events`` as a Chrome ``trace_event`` JSON document."""
+    sources = sorted({ev.source for ev in events})
+    tid_of = {source: tid for tid, source in enumerate(sources, start=1)}
+    out: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+            "args": {"name": f"{label} (simulated time)"},
+        }
+    ]
+    for source, tid in tid_of.items():
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+            "args": {"name": source},
+        })
+
+    depth_by_source: Dict[str, int] = {}
+    for ev in events:
+        tid = tid_of[ev.source]
+        ts_us = ev.time_s * _SEC_TO_US
+        if ev.kind == "pww_phase":
+            batch, t0_s, post_s, work_s, wait_s = ev.detail
+            start_s = t0_s
+            for phase, dur_s in (
+                ("post", post_s), ("work", work_s), ("wait", wait_s)
+            ):
+                out.append({
+                    "ph": "X", "name": f"pww.{phase}", "cat": "pww",
+                    "pid": 0, "tid": tid,
+                    "ts": start_s * _SEC_TO_US, "dur": dur_s * _SEC_TO_US,
+                    "args": {"batch": batch},
+                })
+                start_s += dur_s
+        elif ev.kind in _DEPTH_DELTA:
+            depth = depth_by_source.get(ev.source, 0) + _DEPTH_DELTA[ev.kind]
+            depth_by_source[ev.source] = depth
+            out.append({
+                "ph": "C", "name": f"{ev.source}.depth", "cat": "queue",
+                "pid": 0, "tid": tid, "ts": ts_us,
+                "args": {"depth": depth},
+            })
+        elif ev.kind == "gm_tokens":
+            node, tokens, _max_tokens = ev.detail
+            out.append({
+                "ph": "C", "name": f"gm.tokens.node{node}", "cat": "gm",
+                "pid": 0, "tid": tid, "ts": ts_us,
+                "args": {"tokens": tokens},
+            })
+        else:
+            out.append({
+                "ph": "i", "name": ev.kind, "cat": "sim", "s": "t",
+                "pid": 0, "tid": tid, "ts": ts_us,
+                "args": {"detail": _jsonable(ev.detail)},
+            })
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "generator": "comb-obs",
+            "time_base": "simulated seconds, exported as microseconds",
+        },
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[ObsEvent],
+    path: Union[str, Path],
+    label: str = "comb",
+) -> Path:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events, label=label)) + "\n")
+    return path
+
+
+def write_csv_timeline(
+    events: Sequence[ObsEvent], path: Union[str, Path]
+) -> Path:
+    """Write ``events`` as a flat CSV timeline (one row per event)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["seq", "time_s", "source", "kind", "detail"])
+        for ev in events:
+            writer.writerow([
+                ev.seq, repr(ev.time_s), ev.source, ev.kind,
+                json.dumps(_jsonable(ev.detail)),
+            ])
+    return path
+
+
+def write_metrics(
+    metrics: Union[MetricsRegistry, Dict[str, Any]],
+    path: Union[str, Path],
+    extra: Union[Dict[str, Any], None] = None,
+) -> Path:
+    """Write a metrics sidecar JSON next to a result set.
+
+    ``metrics`` may be a registry (snapshotted here) or an
+    already-snapshotted document; ``extra`` merges additional top-level
+    keys (run configuration, wall time) into the sidecar.
+    """
+    doc: Dict[str, Any] = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "metrics": metrics.to_dict()
+        if isinstance(metrics, MetricsRegistry) else metrics,
+    }
+    if extra:
+        doc.update(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

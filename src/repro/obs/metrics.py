@@ -1,0 +1,206 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately minimal and dependency-free — it exists so
+the simulator's *sim-time* breakdowns and the executor's *wall-clock*
+stage profiles land in one uniform, JSON-serializable snapshot.  All
+snapshots are emitted with sorted names, so two runs producing the same
+measurements produce byte-identical sidecar files.
+
+Histograms use fixed bucket bounds chosen at construction (Prometheus
+style): ``counts[i]`` counts observations ``<= bounds[i]``, with one
+overflow bucket at the end.  The battery in
+``tests/test_obs_properties.py`` pins the invariant ``sum(counts) ==
+count`` for arbitrary observation streams.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+MetricValue = Union[int, float]
+
+#: Wall-clock latency buckets (seconds): 1 µs … 30 s, log-spaced.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+)
+
+#: Simulated-time buckets (seconds): 100 ns … 1 s, log-spaced — sized for
+#: per-phase durations (posts are ~µs, waits up to ~ms, work up to ~s).
+DEFAULT_SIM_TIME_BUCKETS_S: Tuple[float, ...] = (
+    1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+    1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count (int or float accumulate)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: MetricValue = 0
+
+    def inc(self, amount: MetricValue = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def to_dict(self) -> MetricValue:
+        return self.value
+
+
+class Gauge:
+    """Last-written value, with min/max watermarks."""
+
+    __slots__ = ("name", "value", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[MetricValue] = None
+        self.min: Optional[MetricValue] = None
+        self.max: Optional[MetricValue] = None
+
+    def set(self, value: MetricValue) -> None:
+        """Record the current value and update the watermarks."""
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def add(self, delta: MetricValue) -> None:
+        """Adjust the current value by ``delta`` (starts from 0)."""
+        self.set((self.value or 0) + delta)
+
+    def to_dict(self) -> Dict[str, Optional[MetricValue]]:
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` counts values <= ``bounds[i]``.
+
+    The final entry of :attr:`counts` is the overflow bucket (values
+    greater than every bound), so ``sum(counts) == count`` always.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name}: no buckets")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        #: Sum of every observed value (mean = total / count).
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Count one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics, one namespace per run.
+
+    Names are dotted paths (``sim.pww.wait_s``, ``executor.cache.hits``);
+    re-requesting a name returns the existing instrument, and requesting
+    it as a different type is an error (a registry-wide uniqueness
+    invariant, so a snapshot can flatten without collisions).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get_or_create(
+        self,
+        name: str,
+        cls: type,
+        *args: object,
+    ) -> Union[Counter, Gauge, Histogram]:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, requested {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first request)."""
+        metric = self._get_or_create(name, Counter)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first request)."""
+        metric = self._get_or_create(name, Gauge)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_SIM_TIME_BUCKETS_S,
+    ) -> Histogram:
+        """The histogram called ``name`` (created with ``bounds`` on
+        first request; later calls ignore ``bounds``)."""
+        metric = self._get_or_create(name, Histogram, bounds)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot, grouped by instrument type, names sorted."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.to_dict()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.to_dict()
+            else:
+                out["histograms"][name] = metric.to_dict()
+        return out

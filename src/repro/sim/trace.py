@@ -80,3 +80,26 @@ class Tracer:
     def clear(self) -> None:
         """Drop all collected records."""
         self.records.clear()
+
+
+class MultiTracer(Tracer):
+    """Fans every record out to multiple child tracers.
+
+    Lets independent ambient attachments — e.g. the sanitizer
+    (:mod:`repro.verify`) and the observer (:mod:`repro.obs`) — share the
+    single ``Engine.trace`` seam without knowing about each other.  The
+    children keep their own filtering/storage policies; this class stores
+    nothing itself.
+    """
+
+    def __init__(self, children: List[Tracer]):
+        super().__init__()
+        self.children = list(children)
+
+    def record(self, time: float, source: str, kind: str, detail: Any = None) -> None:
+        for child in self.children:
+            child.record(time, source, kind, detail)
+
+    def record_kernel(self, time: float, event: Any) -> None:
+        for child in self.children:
+            child.record_kernel(time, event)

@@ -27,6 +27,23 @@ settings.register_profile(
 settings.register_profile("dev", max_examples=25, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
+
+def pytest_collection_modifyitems(config, items):
+    """Seeded test-order shuffle for environments without pytest-randomly.
+
+    CI installs ``pytest-randomly`` (see the ``test`` extra) and drives it
+    with an explicit ``--randomly-seed``; bare environments can still
+    exercise order-independence deterministically via
+    ``TEST_SHUFFLE_SEED=<int> pytest``.  No-ops when unset or when the
+    real plugin is present (it already reordered the items).
+    """
+    seed = os.environ.get("TEST_SHUFFLE_SEED")
+    if not seed or config.pluginmanager.hasplugin("randomly"):
+        return
+    import random
+
+    random.Random(int(seed)).shuffle(items)
+
 @pytest.fixture
 def gm():
     """The GM system preset."""

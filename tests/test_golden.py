@@ -6,6 +6,12 @@ to timing behaviour — protocol, scheduler, calibration — must regenerate
 ``tests/golden_values.json`` (see the module-level docstring there is no
 script: the generation snippet lives in this file's ``regenerate``
 function) and be justified against EXPERIMENTS.md.
+
+This file is also the observability drift gate (the way ``check=True``
+is pinned by ``tests/test_verify_golden_drift.py``): the same canonical
+measurements re-run with the tracer and metrics registry attached must
+be bit-identical to the recorded goldens, proving the observer changed
+nothing it observed.
 """
 
 import json
@@ -16,6 +22,7 @@ import pytest
 from repro.baselines import run_pingpong
 from repro.config import gm_system, portals_system
 from repro.core import PollingConfig, PwwConfig, run_polling, run_pww
+from repro.obs import Observer, use_observer
 
 KB = 1024
 GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
@@ -81,3 +88,54 @@ def test_golden_values_exact(current, golden, key):
             f"{key}.{field}: measured {measured!r} vs golden {expected!r} — "
             f"timing behaviour changed; regenerate goldens if intentional"
         )
+
+
+# ------------------------------------------------- observability drift gate
+@pytest.fixture(scope="module")
+def observed():
+    """The canonical measurements re-run with the full observability
+    layer ambient (tracer + metrics + queue observers), plus the
+    observer itself for sanity assertions."""
+    observer = Observer()
+    with use_observer(observer):
+        values = compute_current()
+    return values, observer
+
+
+def test_observed_keys_match(observed, golden):
+    values, _observer = observed
+    assert set(values) == set(golden)
+
+
+@pytest.mark.parametrize("key", [
+    "GM.polling.100KB.1e3",
+    "GM.pww.100KB.1e5",
+    "GM.pingpong.100KB",
+    "Portals.polling.100KB.1e3",
+    "Portals.pww.100KB.1e5",
+    "Portals.pingpong.100KB",
+])
+def test_observed_values_bit_identical(observed, golden, key):
+    """Tracing + metrics attached must change *nothing* it observes:
+    every golden value is reproduced exactly, not approximately."""
+    values, _observer = observed
+    for field, expected in golden[key].items():
+        measured = values[key][field]
+        assert measured == expected, (
+            f"{key}.{field}: observed run measured {measured!r} vs golden "
+            f"{expected!r} — the observability layer perturbed the "
+            f"simulation; it must be strictly passive"
+        )
+
+
+def test_observed_run_actually_observed(observed):
+    """Guard against a silently detached observer making the drift gate
+    vacuous: the canonical runs must have produced events and metrics."""
+    _values, observer = observed
+    counts = observer.tracer.counts()
+    assert counts.get("pww_phase"), counts
+    assert counts.get("poll") or counts.get("poll_empty"), counts
+    assert counts.get("req_post"), counts
+    metric_names = observer.metrics.names()
+    assert "sim.pww.batches" in metric_names
+    assert "sim.poll.misses" in metric_names

@@ -1,4 +1,4 @@
-"""Strict-typing gate for repro.lint / repro.verify / repro.core.
+"""Strict-typing gate for repro.lint / repro.verify / repro.core / repro.obs.
 
 Runs mypy (configured in pyproject.toml) over the strict packages.  The
 check is skipped when mypy is not installed — the canonical run is the
@@ -31,6 +31,8 @@ def test_strict_packages_pass_mypy():
             "repro.verify",
             "-p",
             "repro.core",
+            "-p",
+            "repro.obs",
         ],
         cwd=REPO,
         capture_output=True,

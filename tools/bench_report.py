@@ -41,6 +41,7 @@ from repro.analysis import run_figure  # noqa: E402
 from repro.analysis.figures import ALL_FIGURES  # noqa: E402
 from repro.core import PointCache, SweepExecutor  # noqa: E402
 from repro.core.executor import DEFAULT_CACHE_DIR, code_salt  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 
 DEFAULT_OUT_DIR = Path("results") / "bench"
 
@@ -77,10 +78,12 @@ def main() -> int:
         parser.error(f"unknown figure ids: {unknown}; have {sorted(ALL_FIGURES)}")
 
     cache = None if args.no_cache else PointCache(args.cache_dir)
+    registry = MetricsRegistry()
     per_figure: dict = {}
     claims_ok = True
     t_total = time.time()
-    with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+    with SweepExecutor(jobs=args.jobs, cache=cache,
+                       metrics=registry) as executor:
         for fig_id in ids:
             t0 = time.time()
             report = run_figure(fig_id, per_decade=args.per_decade,
@@ -102,6 +105,10 @@ def main() -> int:
         "total_s": round(total_s, 4),
         "figures": per_figure,
         "cache": stats.to_dict(),
+        # Wall-clock stage profile from the observability layer: cache
+        # lookup latency, per-point simulation wall times, fan-out
+        # utilization (see docs/observability.md).
+        "metrics": registry.to_dict(),
         "claims_ok": claims_ok,
     }
     out_dir = Path(args.out_dir)
