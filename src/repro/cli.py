@@ -35,6 +35,18 @@ profiles always cover everything.
 the full tracer attached (forced serial, uncached, so every event is
 captured) and exports a Chrome ``trace_event`` JSON (loads in
 ``about:tracing`` / Perfetto), a CSV timeline, and the metrics sidecar.
+With ``--attribution`` the event stream is additionally stitched into
+causal spans (:mod:`repro.obs.spans`) and each sweep point's wait time /
+availability loss is decomposed into named causes
+(:mod:`repro.obs.attribution`), printed as a table and exported as
+``<target>.attribution.json``.
+
+``comb compare`` doubles as the statistical regression sentinel: with
+two run paths (``metrics.json`` / ``BENCH_*.json`` files or directories
+of them) it bootstraps confidence intervals over median differences and
+exits 1 on significant regressions; with one BENCH history directory it
+judges the newest record against all older ones, skipping cleanly while
+the history is too short (see :mod:`repro.obs.compare`).
 """
 
 from __future__ import annotations
@@ -110,17 +122,24 @@ def _maybe_observer(args: argparse.Namespace):
     return Observer()
 
 
-def _write_metrics_sidecar(observer, executor: SweepExecutor, out_dir) -> None:
-    """Write the ``metrics.json`` sidecar and print its location."""
+def _write_metrics_sidecar(observer, executor: SweepExecutor, out_dir) -> int:
+    """Write the ``metrics.json`` sidecar; return 0, or 1 on I/O failure
+    (one-line diagnostic instead of a traceback)."""
     from pathlib import Path
 
     from .obs import write_metrics
 
     doc = observer.to_dict()
     doc["executor"] = executor.stats.to_dict()
-    path = write_metrics(doc.pop("metrics"), Path(out_dir) / "metrics.json",
-                         extra=doc)
+    target = Path(out_dir) / "metrics.json"
+    try:
+        path = write_metrics(doc.pop("metrics"), target, extra=doc)
+    except OSError as exc:
+        print(f"error: cannot write metrics sidecar {target}: {exc}",
+              file=sys.stderr)
+        return 1
     print(f"wrote {path}")
+    return 0
 
 
 def _report_violations(violations) -> int:
@@ -190,12 +209,23 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(p)
 
     p = sub.add_parser(
-        "compare", help="side-by-side system comparison table"
+        "compare",
+        help="system comparison table (no args), or the statistical "
+        "regression sentinel over run profiles (run paths)",
     )
+    p.add_argument("runs", nargs="*", default=[],
+                   help="0 args: system table; 1 arg: BENCH history dir "
+                   "(newest record vs all older); 2 args: baseline run "
+                   "vs candidate run (file or directory each)")
     p.add_argument("--systems", nargs="*", default=None,
                    help="preset names (default: all, plus the offload NIC)")
     p.add_argument("--size", type=float, default=100,
                    help="message size (KB)")
+    p.add_argument("--min-rel", type=float, default=None, metavar="FRAC",
+                   help="minimum relative slowdown to call a regression "
+                   "(default: 0.05)")
+    p.add_argument("--min-records", type=int, default=None, metavar="N",
+                   help="baseline samples required per metric (default: 2)")
 
     p = sub.add_parser(
         "scenario", help="run a declarative JSON experiment spec"
@@ -235,6 +265,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", action="store_true",
                    help="also record the per-event kernel stream (very "
                    "noisy; inflates the trace by orders of magnitude)")
+    p.add_argument("--attribution", action="store_true",
+                   help="stitch events into causal spans and print a "
+                   "per-point critical-path decomposition of wait time / "
+                   "availability loss; also writes <target>.attribution.json")
 
     p = sub.add_parser(
         "lint",
@@ -368,22 +402,101 @@ def _run_trace(args: argparse.Namespace) -> int:
         return 2
 
     events = observer.events()
+    dropped = observer.tracer.dropped()
     out_dir = Path(args.out)
-    paths = [
-        write_chrome_trace(events, out_dir / f"{target}.trace.json",
-                           label=label),
-        write_csv_timeline(events, out_dir / f"{target}.timeline.csv"),
-    ]
-    doc = observer.to_dict()
-    if executor_stats is not None:
-        doc["executor"] = executor_stats.to_dict()
-    paths.append(write_metrics(doc.pop("metrics"),
-                               out_dir / f"{target}.metrics.json", extra=doc))
+    try:
+        paths = [
+            write_chrome_trace(events, out_dir / f"{target}.trace.json",
+                               label=label, dropped=dropped),
+            write_csv_timeline(events, out_dir / f"{target}.timeline.csv",
+                               dropped=dropped),
+        ]
+        doc = observer.to_dict()
+        if executor_stats is not None:
+            doc["executor"] = executor_stats.to_dict()
+        paths.append(write_metrics(doc.pop("metrics"),
+                                   out_dir / f"{target}.metrics.json",
+                                   extra=doc))
+        if args.attribution:
+            paths.append(_write_attribution(events, out_dir, target))
+    except OSError as exc:
+        print(f"error: cannot write trace output under {out_dir}: {exc}",
+              file=sys.stderr)
+        return 1
     print(observer.summary())
     for path in paths:
         print(f"wrote {path}")
     print(f"open {paths[0]} in about:tracing or https://ui.perfetto.dev")
     return 0
+
+
+def _write_attribution(events, out_dir, target) -> object:
+    """Stitch + attribute ``events``; print the table, write the JSON."""
+    import json
+
+    from .obs import (
+        TRACE_SCHEMA_VERSION,
+        attribute_events,
+        format_attribution,
+        stitch,
+    )
+
+    points = attribute_events(events)
+    forest = stitch(events)
+    print(format_attribution(points))
+    path = out_dir / f"{target}.attribution.json"
+    doc = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "points": [pt.to_dict() for pt in points],
+        "spans": forest.to_dicts(),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _run_compare_runs(args: argparse.Namespace) -> int:
+    """``comb compare <runs…>``: the statistical regression sentinel."""
+    from pathlib import Path
+
+    from .obs import compare_history, compare_paths
+    from .obs.compare import DEFAULT_MIN_RECORDS, DEFAULT_MIN_REL
+
+    min_rel = args.min_rel if args.min_rel is not None else DEFAULT_MIN_REL
+    min_records = (args.min_records if args.min_records is not None
+                   else DEFAULT_MIN_RECORDS)
+    runs = [Path(r) for r in args.runs]
+    for run in runs:
+        if not run.exists():
+            print(f"error: run path {run} does not exist", file=sys.stderr)
+            return 2
+    if len(runs) == 1:
+        if not runs[0].is_dir():
+            print(f"error: history mode needs a directory of BENCH_*.json "
+                  f"records, got {runs[0]}", file=sys.stderr)
+            return 2
+        report = compare_history(runs[0], min_rel=min_rel,
+                                 min_records=min_records)
+        if report is None:
+            print(f"compare: fewer than {min_records + 1} BENCH records in "
+                  f"{runs[0]}; nothing to judge yet (not a failure)")
+            return 0
+        print(f"compare: newest record in {runs[0]} vs all older records")
+    elif len(runs) == 2:
+        # Explicit A-vs-B: the user picked the samples, so singleton
+        # baselines are judged (zero-width CI) instead of skipped;
+        # --min-records restores the stricter gate.
+        report = compare_paths(
+            runs[0], runs[1], min_rel=min_rel,
+            min_records=min_records if args.min_records is not None else 1,
+        )
+        print(f"compare: {runs[1]} (candidate) vs {runs[0]} (baseline)")
+    else:
+        print("error: compare takes 0 run paths (system table), 1 "
+              "(BENCH history dir), or 2 (baseline candidate)",
+              file=sys.stderr)
+        return 2
+    print(report.format())
+    return report.exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -458,9 +571,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.out:
                 paths = export_figures([r.figure for r in reports], args.out)
                 print(f"wrote {len(paths)} files to {args.out}")
-            if observer is not None:
-                _write_metrics_sidecar(observer, executor,
-                                       args.out or "results")
+            if observer is not None and _write_metrics_sidecar(
+                observer, executor, args.out or "results"
+            ):
+                return 1
         for rep in reports:
             if not args.no_plots:
                 print(render(rep.figure))
@@ -472,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
+        if args.runs:
+            return _run_compare_runs(args)
         from .analysis.tables import format_table, system_comparison
         from .ext import offload_nic_system
 
@@ -542,8 +658,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             with use_observer(observer):
                 reports = run_all(per_decade=args.per_decade,
                                   executor=executor)
-            if observer is not None:
-                _write_metrics_sidecar(observer, executor, "results")
+            if observer is not None and _write_metrics_sidecar(
+                observer, executor, "results"
+            ):
+                return 1
         print(format_report(reports))
         if args.check and _report_violations(executor.violations):
             return 1

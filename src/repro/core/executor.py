@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
+from ..obs.context import current_observer
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
@@ -104,6 +105,18 @@ def run_task_checked(task: PointTask) -> Tuple[Point, List[Any]]:
     with use_sanitizer(sanitizer):
         point = run_task(task)
     return point, sanitizer.finalize()
+
+
+def _point_marker(task: PointTask) -> Tuple[str, str, int, int, int]:
+    """``point_start`` detail: ``(kind, system, msg_bytes, interval_iters,
+    warmup_windows)``.  Polling self-describes its window (``poll_window``
+    events), so its warmup count is 0."""
+    cfg = task.cfg
+    if isinstance(cfg, PwwConfig):
+        return (task.kind, task.system.name, cfg.msg_bytes,
+                cfg.work_interval_iters, cfg.warmup_batches)
+    return (task.kind, task.system.name, cfg.msg_bytes,
+            cfg.poll_interval_iters, 0)
 
 
 def _sim_entry(
@@ -474,7 +487,21 @@ class SweepExecutor:
             # result order == task order, preserving determinism.
             raw = pool.map(entry, tasks, chunksize=1)
         else:
-            raw = [entry(t) for t in tasks]
+            # With an ambient observer, bracket each point's event stream
+            # with markers so attribution (repro.obs.attribution) can cut
+            # the merged stream back into sweep points.  Markers are
+            # emitted *around* simulation — they never touch it.
+            obs = current_observer()
+            tracer = obs.tracer if obs is not None else None
+            if tracer is None:
+                raw = [entry(t) for t in tasks]
+            else:
+                raw = []
+                for t in tasks:
+                    tracer.record(0.0, "executor", "point_start",
+                                  _point_marker(t))
+                    raw.append(entry(t))
+                    tracer.record(0.0, "executor", "point_end", (t.kind,))
         points: List[Any] = []
         busy_s = 0.0
         for point, violations, wall_s in raw:

@@ -179,6 +179,13 @@ def _worker(
 
     elapsed_s = engine.now - t_start_s
     iters = iters_done - iters_start
+    if trace is not None:
+        # Schema: (t_start_s, elapsed_s, work_total_s, polls, empty_poll_s)
+        # — the measurement window in one record, so attribution can
+        # decompose availability loss without re-deriving the window.
+        trace.record(engine.now, "rank0.polling", "poll_window",
+                     (t_start_s, elapsed_s, work_time(system, iters),
+                      polls - polls_start, empty_poll_s))
     delta = dev.stats.delta(stats_start)
     payload = delta.bytes_send_done + delta.bytes_recv_done
     state.result = PollingPoint(

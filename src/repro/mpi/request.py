@@ -90,6 +90,12 @@ class Request:
             # sanitizer can log the illegal transition the guard rejects.
             trace.record(self.engine.now, "mpi.req", "req_complete",
                          (self.req_id, self.kind.value))
+            if self.msg_id is not None:
+                # Schema: (req_id, msg_id, kind) — ties the MPI request to
+                # its wire-level message so span stitching (repro.obs.spans)
+                # can anchor request endpoints on packet timelines.
+                trace.record(self.engine.now, "mpi.req", "msg_bind",
+                             (self.req_id, self.msg_id, self.kind.value))
         if self.done:
             raise RuntimeError(f"request {self.req_id} completed twice")
         self.done = True

@@ -27,6 +27,20 @@ differential battery in ``tests/test_golden.py`` and
 ``tests/test_obs_properties.py`` enforces exactly that).
 """
 
+from .attribution import (
+    ALL_CAUSES,
+    PointAttribution,
+    attribute_events,
+    attribute_window,
+    format_attribution,
+)
+from .compare import (
+    CompareReport,
+    MetricComparison,
+    compare_history,
+    compare_paths,
+    compare_samples,
+)
 from .context import current_observer, use_observer
 from .export import (
     TRACE_SCHEMA_VERSION,
@@ -45,22 +59,37 @@ from .metrics import (
 )
 from .observer import Observer
 from .ring import RingBuffer
+from .spans import MessageSpans, Span, SpanForest, stitch
 from .tracer import ObsEvent, ObsTracer
 
 __all__ = [
+    "ALL_CAUSES",
+    "CompareReport",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_SIM_TIME_BUCKETS_S",
     "Gauge",
     "Histogram",
+    "MessageSpans",
+    "MetricComparison",
     "MetricsRegistry",
     "ObsEvent",
     "ObsTracer",
     "Observer",
+    "PointAttribution",
     "RingBuffer",
+    "Span",
+    "SpanForest",
     "TRACE_SCHEMA_VERSION",
+    "attribute_events",
+    "attribute_window",
     "chrome_trace",
+    "compare_history",
+    "compare_paths",
+    "compare_samples",
     "current_observer",
+    "format_attribution",
+    "stitch",
     "use_observer",
     "write_chrome_trace",
     "write_csv_timeline",

@@ -1,0 +1,371 @@
+"""Critical-path attribution: decompose waits and availability loss into causes.
+
+The paper's §4 argument is causal: GM's PWW wait time is high for large
+messages *because* the rendezvous handshake only progresses inside MPI
+calls (the Progress Rule), so the data transfer that should have
+overlapped the work phase is forced into the wait phase.  This module
+turns that argument into a measurement: every PWW wait window (and every
+polling availability-loss window) is partitioned, second by second, into
+named causes whose sum equals the measured window exactly.
+
+Two steps per window:
+
+1. **Structural sweep** — the window is cut at every boundary of every
+   overlapping span (:mod:`repro.obs.spans`); each elementary segment is
+   labelled by the highest-priority active cause (token starvation >
+   rendezvous stall > host copy > completion stall > wire), and time no
+   span covers becomes ``library_other``.  Because this is a partition,
+   cause seconds sum to the window length by construction.
+2. **Counterfactual reattribution** — wire time inside the window whose
+   transfer *could* have run earlier (the message's first stall span
+   started before the window opened, i.e. the handshake was answerable
+   during the work phase but the library never progressed it) is
+   relabelled ``rendezvous_stall``, bounded by how much earlier the
+   transfer could have started.  This is what blames GM's forced-serial
+   data transfer on the Progress Rule while leaving genuinely
+   unoverlappable wire time (handshake completed inside the window)
+   attributed to the wire.
+
+Attribution is a pure function of the event stream — it never touches
+the simulator, so traced runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spans import (
+    SPAN_COMPLETION,
+    SPAN_CTS_WIRE,
+    SPAN_DATA_WIRE,
+    SPAN_HANDSHAKE_STALL,
+    SPAN_PROGRESS_STALL,
+    SPAN_RTS_WIRE,
+    SPAN_TOKEN_STALL,
+    SpanForest,
+    stitch,
+)
+from .tracer import ObsEvent
+
+#: Cause taxonomy (see docs/observability.md for the full narrative).
+CAUSE_RENDEZVOUS = "rendezvous_stall"
+CAUSE_WIRE = "wire"
+CAUSE_HOST_COPY = "host_copy"
+CAUSE_TOKEN = "token_starvation"
+CAUSE_COMPLETION = "completion_stall"
+CAUSE_POLL = "poll_overhead"
+CAUSE_OTHER = "library_other"
+
+#: Every cause a window decomposition may contain, display order.
+ALL_CAUSES = (
+    CAUSE_RENDEZVOUS,
+    CAUSE_WIRE,
+    CAUSE_HOST_COPY,
+    CAUSE_TOKEN,
+    CAUSE_COMPLETION,
+    CAUSE_POLL,
+    CAUSE_OTHER,
+)
+
+#: Structural span → cause.  ``completion`` is resolved per message
+#: (eager receives spend it in the host-CPU bounce-buffer copy).
+_SPAN_CAUSE = {
+    SPAN_TOKEN_STALL: CAUSE_TOKEN,
+    SPAN_HANDSHAKE_STALL: CAUSE_RENDEZVOUS,
+    SPAN_PROGRESS_STALL: CAUSE_RENDEZVOUS,
+    SPAN_RTS_WIRE: CAUSE_WIRE,
+    SPAN_CTS_WIRE: CAUSE_WIRE,
+    SPAN_DATA_WIRE: CAUSE_WIRE,
+}
+
+#: When spans overlap, the highest-priority active cause wins a segment.
+_PRIORITY = (
+    CAUSE_TOKEN,
+    CAUSE_RENDEZVOUS,
+    CAUSE_HOST_COPY,
+    CAUSE_COMPLETION,
+    CAUSE_WIRE,
+)
+_RANK = {cause: i for i, cause in enumerate(_PRIORITY)}
+
+
+def attribute_window(
+    forest: SpanForest, w0_s: float, w1_s: float
+) -> Dict[str, float]:
+    """Partition the window ``[w0_s, w1_s]`` into cause seconds.
+
+    The returned dict's values sum to ``w1_s - w0_s`` exactly (the
+    residual is assigned to ``library_other``), which is what makes the
+    per-point fractions sum to 1 ± ulp.
+    """
+    window_s = w1_s - w0_s
+    causes = {cause: 0.0 for cause in ALL_CAUSES}
+    if window_s <= 0.0:
+        return causes
+
+    intervals: List[Tuple[float, float, str]] = []
+    budget_s = 0.0
+    for msg in forest:
+        for span in msg.children:
+            cause = _SPAN_CAUSE.get(span.name)
+            if cause is None and span.name == SPAN_COMPLETION:
+                cause = CAUSE_HOST_COPY if msg.eager else CAUSE_COMPLETION
+            if cause is None:
+                continue
+            t0_s = max(span.t0_s, w0_s)
+            t1_s = min(span.t1_s, w1_s)
+            if t1_s > t0_s:
+                intervals.append((t0_s, t1_s, cause))
+        # Counterfactual budget: the transfer could have started earlier
+        # by the delay the library injected into the handshake (its stall
+        # spans), capped at how long before the window the handshake
+        # became answerable.  An offloaded transport's stalls are ≈ 0,
+        # so its in-window wire time stays attributed to the wire.
+        stall_start_s = msg.stall_start_s
+        data = msg.child(SPAN_DATA_WIRE)
+        if (
+            stall_start_s is not None
+            and stall_start_s < w0_s
+            and data is not None
+            and data.t1_s > w0_s
+            and data.t0_s < w1_s
+        ):
+            budget_s = max(
+                budget_s, min(w0_s - stall_start_s, msg.stall_total_s)
+            )
+
+    # Structural sweep: partition the window at every interval boundary.
+    cuts = sorted(
+        {w0_s, w1_s}
+        | {t0_s for t0_s, _t1_s, _c in intervals}
+        | {t1_s for _t0_s, t1_s, _c in intervals}
+    )
+    assigned_s = 0.0
+    for seg0_s, seg1_s in zip(cuts, cuts[1:]):
+        active = [
+            c for t0_s, t1_s, c in intervals
+            if t0_s <= seg0_s and t1_s >= seg1_s
+        ]
+        if not active:
+            continue
+        winner = min(active, key=lambda c: _RANK[c])
+        seg_s = seg1_s - seg0_s
+        causes[winner] += seg_s
+        assigned_s += seg_s
+    causes[CAUSE_OTHER] = max(0.0, window_s - assigned_s)
+
+    # Counterfactual reattribution (step 2 of the module docstring).
+    moved_s = min(budget_s, causes[CAUSE_WIRE])
+    if moved_s > 0.0:
+        causes[CAUSE_WIRE] -= moved_s
+        causes[CAUSE_RENDEZVOUS] += moved_s
+    return causes
+
+
+@dataclass
+class PointAttribution:
+    """Cause decomposition of one sweep point's wait / availability loss."""
+
+    method: str
+    system: Optional[str] = None
+    msg_bytes: Optional[int] = None
+    interval_iters: Optional[int] = None
+    #: Total attributed seconds (sum of measured PWW wait windows, or the
+    #: polling point's availability loss).
+    total_s: float = 0.0
+    #: Windows folded into this point (PWW batches / polling windows).
+    windows: int = 0
+    causes: Dict[str, float] = field(default_factory=dict)
+
+    def fractions(self) -> Dict[str, float]:
+        """Cause fractions of :attr:`total_s` (empty when total is 0)."""
+        if self.total_s <= 0.0:
+            return {}
+        return {
+            cause: seconds_s / self.total_s
+            for cause, seconds_s in self.causes.items()
+        }
+
+    @property
+    def dominant(self) -> Optional[str]:
+        """The cause with the most seconds (``None`` when nothing is
+        attributed); ties break in :data:`ALL_CAUSES` order."""
+        best: Optional[str] = None
+        best_s = 0.0
+        for cause in ALL_CAUSES:
+            seconds_s = self.causes.get(cause, 0.0)
+            if seconds_s > best_s:
+                best, best_s = cause, seconds_s
+        return best
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "system": self.system,
+            "msg_bytes": self.msg_bytes,
+            "interval_iters": self.interval_iters,
+            "total_s": self.total_s,
+            "windows": self.windows,
+            "causes": dict(self.causes),
+            "fractions": self.fractions(),
+            "dominant": self.dominant,
+        }
+
+
+@dataclass(frozen=True)
+class _PointMeta:
+    method: Optional[str] = None
+    system: Optional[str] = None
+    msg_bytes: Optional[int] = None
+    interval_iters: Optional[int] = None
+    warmup_windows: int = 0
+
+
+def _split_points(
+    events: Sequence[ObsEvent],
+) -> List[Tuple[_PointMeta, List[ObsEvent]]]:
+    """Cut the stream at the executor's ``point_start`` / ``point_end``
+    markers.  Without markers the whole stream is one anonymous point."""
+    ordered = sorted(events, key=lambda ev: ev.seq)
+    if not any(ev.kind == "point_start" for ev in ordered):
+        return [(_PointMeta(), list(ordered))]
+    points: List[Tuple[_PointMeta, List[ObsEvent]]] = []
+    meta: Optional[_PointMeta] = None
+    bucket: List[ObsEvent] = []
+    for ev in ordered:
+        if ev.kind == "point_start":
+            meta = _PointMeta(
+                method=str(ev.detail[0]),
+                system=str(ev.detail[1]),
+                msg_bytes=int(ev.detail[2]),
+                interval_iters=int(ev.detail[3]),
+                warmup_windows=int(ev.detail[4]),
+            )
+            bucket = []
+        elif ev.kind == "point_end":
+            if meta is not None:
+                points.append((meta, bucket))
+            meta, bucket = None, []
+        elif meta is not None:
+            bucket.append(ev)
+    if meta is not None:  # stream truncated before point_end
+        points.append((meta, bucket))
+    return points
+
+
+def _attribute_pww_point(
+    meta: _PointMeta, events: Sequence[ObsEvent]
+) -> PointAttribution:
+    forest = stitch(events)
+    point = PointAttribution(
+        method="pww",
+        system=meta.system,
+        msg_bytes=meta.msg_bytes,
+        interval_iters=meta.interval_iters,
+        causes={cause: 0.0 for cause in ALL_CAUSES},
+    )
+    for ev in events:
+        if ev.kind != "pww_phase":
+            continue
+        batch, _t0_s, _post_s, _work_s, wait_s = ev.detail
+        if int(batch) < meta.warmup_windows:
+            continue  # match the measured (post-warmup) wait time
+        w1_s = ev.time_s
+        w0_s = w1_s - wait_s
+        for cause, seconds_s in attribute_window(forest, w0_s, w1_s).items():
+            point.causes[cause] += seconds_s
+        point.total_s += wait_s
+        point.windows += 1
+    return point
+
+
+def _attribute_polling_point(
+    meta: _PointMeta, events: Sequence[ObsEvent]
+) -> PointAttribution:
+    """Availability-loss decomposition for one polling point.
+
+    The loss (window minus pure work time) splits into the poll tax
+    (completion tests × the empty-pass cost, both carried by the
+    ``poll_window`` event), host-CPU copy time visible as spans, and a
+    ``library_other`` residual (per-call posting/matching costs the
+    event stream cannot see individually).
+    """
+    forest = stitch(events)
+    point = PointAttribution(
+        method="polling",
+        system=meta.system,
+        msg_bytes=meta.msg_bytes,
+        interval_iters=meta.interval_iters,
+        causes={cause: 0.0 for cause in ALL_CAUSES},
+    )
+    for ev in events:
+        if ev.kind != "poll_window":
+            continue
+        t_start_s, elapsed_s, work_total_s, polls, empty_poll_s = ev.detail
+        loss_s = max(0.0, elapsed_s - work_total_s)
+        poll_tax_s = min(loss_s, polls * empty_poll_s)
+        copy_s = attribute_window(
+            forest, t_start_s, t_start_s + elapsed_s
+        )[CAUSE_HOST_COPY]
+        copy_s = min(copy_s, loss_s - poll_tax_s)
+        point.causes[CAUSE_POLL] += poll_tax_s
+        point.causes[CAUSE_HOST_COPY] += copy_s
+        point.causes[CAUSE_OTHER] += loss_s - poll_tax_s - copy_s
+        point.total_s += loss_s
+        point.windows += 1
+    return point
+
+
+def attribute_events(events: Sequence[ObsEvent]) -> List[PointAttribution]:
+    """Per-point cause decompositions for a whole observed run.
+
+    The stream is segmented at the executor's point markers (each marker
+    names the method, system, message size, interval, and warmup window
+    count); a marker-free stream — e.g. ``comb trace pww`` driving one
+    point directly — is treated as a single point whose method is
+    inferred from the phase events present.
+    """
+    out: List[PointAttribution] = []
+    for meta, point_events in _split_points(events):
+        method = meta.method
+        if method is None:
+            if any(ev.kind == "pww_phase" for ev in point_events):
+                method = "pww"
+            elif any(ev.kind == "poll_window" for ev in point_events):
+                method = "polling"
+            else:
+                continue
+        if method == "pww":
+            out.append(_attribute_pww_point(meta, point_events))
+        elif method == "polling":
+            out.append(_attribute_polling_point(meta, point_events))
+    return out
+
+
+def format_attribution(points: Sequence[PointAttribution]) -> str:
+    """Human table: one row per sweep point, cause fractions + verdict."""
+    if not points:
+        return "attribution: no decomposable windows in the event stream"
+    lines = [
+        "per-point attribution (cause fractions of measured wait / "
+        "availability loss):",
+        f"  {'method':7s} {'system':10s} {'size':>7s} {'interval':>9s} "
+        f"{'total':>10s}  breakdown",
+    ]
+    for pt in points:
+        size_label = f"{pt.msg_bytes // 1024}KB" if pt.msg_bytes else "-"
+        interval_iters = str(pt.interval_iters) if pt.interval_iters else "-"
+        shares = [
+            f"{cause}={frac:.0%}"
+            for cause, frac in sorted(
+                pt.fractions().items(), key=lambda kv: -kv[1]
+            )
+            if frac >= 0.005
+        ]
+        lines.append(
+            f"  {pt.method:7s} {(pt.system or '-'):10s} {size_label:>7s} "
+            f"{interval_iters:>9s} {pt.total_s * 1e6:9.1f}us  "
+            + (" ".join(shares) if shares else "(zero)")
+        )
+    return "\n".join(lines)

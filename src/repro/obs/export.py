@@ -23,7 +23,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .metrics import MetricsRegistry
 from .observer import _DEPTH_DELTA
@@ -48,9 +48,18 @@ def _jsonable(value: Any) -> Any:
 
 
 def chrome_trace(
-    events: Sequence[ObsEvent], label: str = "comb"
+    events: Sequence[ObsEvent],
+    label: str = "comb",
+    dropped: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
-    """Render ``events`` as a Chrome ``trace_event`` JSON document."""
+    """Render ``events`` as a Chrome ``trace_event`` JSON document.
+
+    ``dropped`` is the tracer's per-kind ring-buffer drop accounting
+    (:meth:`~repro.obs.tracer.ObsTracer.dropped`); when given, it lands
+    both in ``otherData["dropped_events"]`` and as visible instant marks
+    on a dedicated ``obs.tracer`` row, so a truncated trace states its
+    own truncation inside Perfetto instead of hiding it.
+    """
     sources = sorted({ev.source for ev in events})
     tid_of = {source: tid for tid, source in enumerate(sources, start=1)}
     out: List[Dict[str, Any]] = [
@@ -103,14 +112,29 @@ def chrome_trace(
                 "pid": 0, "tid": tid, "ts": ts_us,
                 "args": {"detail": _jsonable(ev.detail)},
             })
+    other_data: Dict[str, Any] = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "generator": "comb-obs",
+        "time_base": "simulated seconds, exported as microseconds",
+    }
+    if dropped is not None:
+        other_data["dropped_events"] = dict(sorted(dropped.items()))
+        if dropped:
+            drop_tid = len(sources) + 1
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": 0, "tid": drop_tid,
+                "args": {"name": "obs.tracer"},
+            })
+            for kind, count in sorted(dropped.items()):
+                out.append({
+                    "ph": "i", "name": f"dropped.{kind}", "cat": "obs",
+                    "s": "g", "pid": 0, "tid": drop_tid, "ts": 0,
+                    "args": {"dropped": count},
+                })
     return {
         "traceEvents": out,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "schema_version": TRACE_SCHEMA_VERSION,
-            "generator": "comb-obs",
-            "time_base": "simulated seconds, exported as microseconds",
-        },
+        "otherData": other_data,
     }
 
 
@@ -118,18 +142,28 @@ def write_chrome_trace(
     events: Sequence[ObsEvent],
     path: Union[str, Path],
     label: str = "comb",
+    dropped: Optional[Dict[str, int]] = None,
 ) -> Path:
     """Write the Chrome trace JSON for ``events`` to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(events, label=label)) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(events, label=label, dropped=dropped)) + "\n"
+    )
     return path
 
 
 def write_csv_timeline(
-    events: Sequence[ObsEvent], path: Union[str, Path]
+    events: Sequence[ObsEvent],
+    path: Union[str, Path],
+    dropped: Optional[Dict[str, int]] = None,
 ) -> Path:
-    """Write ``events`` as a flat CSV timeline (one row per event)."""
+    """Write ``events`` as a flat CSV timeline (one row per event).
+
+    When ``dropped`` is given, one trailing row per truncated kind
+    (source ``obs.tracer``, kind ``dropped``, seq ``-1``) records how
+    many events of that kind the ring buffers evicted.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as fh:
@@ -140,6 +174,12 @@ def write_csv_timeline(
                 ev.seq, repr(ev.time_s), ev.source, ev.kind,
                 json.dumps(_jsonable(ev.detail)),
             ])
+        if dropped:
+            for kind, count in sorted(dropped.items()):
+                writer.writerow([
+                    -1, repr(0.0), "obs.tracer", "dropped",
+                    json.dumps({"kind": kind, "dropped": count}),
+                ])
     return path
 
 

@@ -1,0 +1,295 @@
+"""Causal span stitching: raw trace events → per-message span trees.
+
+The observer's event stream is flat: packet hops, queue mutations,
+request lifecycle marks, PWW phase records.  This module correlates
+those events into *causal spans* — one tree per wire message, keyed on
+the ``msg_id`` every packet already carries — so downstream analysis
+(:mod:`repro.obs.attribution`) can ask *why* time passed instead of
+merely *where*:
+
+* ``rts_wire`` / ``cts_wire`` / ``data_wire`` — packets physically in
+  flight (NIC ``packet_tx`` → receiving NIC ``nic_rx``);
+* ``handshake_stall`` — an RTS sat at the receiver before the CTS/GET
+  answered it (library progress stall on the receive side);
+* ``progress_stall`` — a CTS sat at the sender before the data transfer
+  was programmed (library progress stall on the send side);
+* ``token_stall`` — an eager send queued behind exhausted GM credits;
+* ``completion`` — data fully arrived but the request not yet marked
+  complete (completion-discovery delay; for eager receives this is the
+  host-CPU bounce-buffer copy).
+
+Requests are tied to messages by the ``msg_bind`` events the MPI request
+layer emits at completion, so spans also know their request endpoints
+(``req_post`` time extends the root span back to the MPI post).
+
+Stitching is pure post-processing over whatever events survived the ring
+buffers: every span requires both its endpoints, so truncated streams
+yield fewer spans, never malformed ones.  The well-formedness contract
+(children inside their parent, no cycles, non-negative durations) is
+property-tested in ``tests/test_obs_span_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .tracer import ObsEvent
+
+#: Span names (the ``name`` field of every :class:`Span`).
+SPAN_MSG = "msg"
+SPAN_RTS_WIRE = "rts_wire"
+SPAN_HANDSHAKE_STALL = "handshake_stall"
+SPAN_CTS_WIRE = "cts_wire"
+SPAN_PROGRESS_STALL = "progress_stall"
+SPAN_DATA_WIRE = "data_wire"
+SPAN_TOKEN_STALL = "token_stall"
+SPAN_COMPLETION = "completion"
+
+#: Every child span name, in causal order.
+CHILD_SPAN_NAMES = (
+    SPAN_TOKEN_STALL,
+    SPAN_RTS_WIRE,
+    SPAN_HANDSHAKE_STALL,
+    SPAN_CTS_WIRE,
+    SPAN_PROGRESS_STALL,
+    SPAN_DATA_WIRE,
+    SPAN_COMPLETION,
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One interval of a message's causal history.
+
+    ``parent_id`` is ``None`` for the per-message root (``name="msg"``);
+    every child's interval lies within its parent's.
+    """
+
+    span_id: int
+    msg_id: int
+    name: str
+    t0_s: float
+    t1_s: float
+    parent_id: Optional[int] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1_s - self.t0_s
+
+
+@dataclass
+class MessageSpans:
+    """The stitched span tree of one wire message."""
+
+    msg_id: int
+    root: Span
+    children: List[Span] = field(default_factory=list)
+    #: ``True`` when the message never used a rendezvous handshake.
+    eager: bool = True
+    #: MPI request ids bound to this message (``msg_bind`` events).
+    req_ids: Tuple[int, ...] = ()
+
+    def child(self, name: str) -> Optional[Span]:
+        """The child span called ``name``, or ``None``."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def spans(self) -> List[Span]:
+        """Root first, then children in causal order."""
+        return [self.root, *self.children]
+
+    @property
+    def stall_start_s(self) -> Optional[float]:
+        """Earliest instant a progress pass could have advanced this
+        message (start of its first stall span), or ``None`` if the
+        message never stalled.  This is the anchor for the
+        counterfactual reattribution in :mod:`repro.obs.attribution`."""
+        starts = [
+            s.t0_s for s in self.children
+            if s.name in (SPAN_HANDSHAKE_STALL, SPAN_PROGRESS_STALL)
+        ]
+        return min(starts) if starts else None
+
+    @property
+    def stall_total_s(self) -> float:
+        """Summed duration of this message's progress-stall spans — the
+        delay the MPI library injected into the handshake, i.e. how much
+        earlier the data transfer could have started had the library
+        progressed promptly (an offloaded transport's stalls are ≈ 0)."""
+        return sum(
+            s.duration_s for s in self.children
+            if s.name in (SPAN_HANDSHAKE_STALL, SPAN_PROGRESS_STALL)
+        )
+
+
+class SpanForest:
+    """Every message's span tree from one stitched event stream."""
+
+    def __init__(self, messages: Dict[int, MessageSpans]) -> None:
+        self.messages = messages
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[MessageSpans]:
+        for msg_id in sorted(self.messages):
+            yield self.messages[msg_id]
+
+    def spans(self) -> List[Span]:
+        """Every span of every message, roots before their children."""
+        out: List[Span] = []
+        for msg in self:
+            out.extend(msg.spans())
+        return out
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """JSON-ready flat span list (one dict per span)."""
+        return [
+            {
+                "span_id": s.span_id,
+                "msg_id": s.msg_id,
+                "name": s.name,
+                "t0_s": s.t0_s,
+                "t1_s": s.t1_s,
+                "parent_id": s.parent_id,
+            }
+            for s in self.spans()
+        ]
+
+
+class _MsgScratch:
+    """Per-message accumulator while scanning the event stream."""
+
+    __slots__ = (
+        "rts_tx_s", "rts_rx_s", "cts_tx_s", "cts_rx_s",
+        "data_tx_first_s", "data_rx_last_s", "token_wait_s",
+        "req_ids", "first_s", "last_s",
+    )
+
+    def __init__(self) -> None:
+        self.rts_tx_s: Optional[float] = None
+        self.rts_rx_s: Optional[float] = None
+        self.cts_tx_s: Optional[float] = None
+        self.cts_rx_s: Optional[float] = None
+        self.data_tx_first_s: Optional[float] = None
+        self.data_rx_last_s: Optional[float] = None
+        self.token_wait_s: Optional[float] = None
+        self.req_ids: List[int] = []
+        self.first_s: Optional[float] = None
+        self.last_s: Optional[float] = None
+
+    def touch(self, time_s: float) -> None:
+        if self.first_s is None or time_s < self.first_s:
+            self.first_s = time_s
+        if self.last_s is None or time_s > self.last_s:
+            self.last_s = time_s
+
+
+def stitch(events: Sequence[ObsEvent]) -> SpanForest:
+    """Correlate ``events`` into a :class:`SpanForest`.
+
+    Only events carrying a ``msg_id`` participate (``packet_tx`` /
+    ``nic_rx``, ``gm_token_wait``, ``msg_bind`` plus the bound requests'
+    ``req_post`` / ``req_complete``).  ACK packets are flow control, not
+    message payload, and are ignored.  Any event missing its causal
+    counterpart simply produces no span.
+    """
+    scratch: Dict[int, _MsgScratch] = {}
+    req_post_s: Dict[int, float] = {}
+    req_complete_s: Dict[int, float] = {}
+
+    def entry(msg_id: int) -> _MsgScratch:
+        ms = scratch.get(msg_id)
+        if ms is None:
+            ms = scratch[msg_id] = _MsgScratch()
+        return ms
+
+    ordered = sorted(events, key=lambda ev: ev.seq)
+    for ev in ordered:
+        kind = ev.kind
+        if kind in ("packet_tx", "nic_rx"):
+            pkt_kind, msg_id = ev.detail[0], ev.detail[1]
+            if pkt_kind == "ack":
+                continue  # credit return: reuses a stale msg_id
+            ms = entry(int(msg_id))
+            ms.touch(ev.time_s)
+            if kind == "packet_tx":
+                if pkt_kind == "rts" and ms.rts_tx_s is None:
+                    ms.rts_tx_s = ev.time_s
+                elif pkt_kind == "cts" and ms.cts_tx_s is None:
+                    ms.cts_tx_s = ev.time_s
+                elif pkt_kind == "data" and ms.data_tx_first_s is None:
+                    ms.data_tx_first_s = ev.time_s
+            else:
+                if pkt_kind == "rts" and ms.rts_rx_s is None:
+                    ms.rts_rx_s = ev.time_s
+                elif pkt_kind == "cts" and ms.cts_rx_s is None:
+                    ms.cts_rx_s = ev.time_s
+                elif pkt_kind == "data":
+                    ms.data_rx_last_s = ev.time_s
+        elif kind == "gm_token_wait":
+            ms = entry(int(ev.detail[0]))
+            ms.touch(ev.time_s)
+            if ms.token_wait_s is None:
+                ms.token_wait_s = ev.time_s
+        elif kind == "msg_bind":
+            req_id, msg_id = int(ev.detail[0]), int(ev.detail[1])
+            ms = entry(msg_id)
+            ms.touch(ev.time_s)
+            if req_id not in ms.req_ids:
+                ms.req_ids.append(req_id)
+        elif kind == "req_post":
+            req_post_s.setdefault(int(ev.detail[0]), ev.time_s)
+        elif kind == "req_complete":
+            req_complete_s.setdefault(int(ev.detail[0]), ev.time_s)
+
+    messages: Dict[int, MessageSpans] = {}
+    next_id = 0
+    for msg_id in sorted(scratch):
+        ms = scratch[msg_id]
+        lo_s, hi_s = ms.first_s, ms.last_s
+        assert lo_s is not None and hi_s is not None  # touch() ran
+        completes = [
+            req_complete_s[r] for r in ms.req_ids if r in req_complete_s
+        ]
+        posts = [req_post_s[r] for r in ms.req_ids if r in req_post_s]
+        if posts:
+            lo_s = min(lo_s, min(posts))
+        if completes:
+            hi_s = max(hi_s, max(completes))
+
+        pairs: List[Tuple[str, Optional[float], Optional[float]]] = [
+            (SPAN_TOKEN_STALL, ms.token_wait_s, ms.data_tx_first_s),
+            (SPAN_RTS_WIRE, ms.rts_tx_s, ms.rts_rx_s),
+            (SPAN_HANDSHAKE_STALL, ms.rts_rx_s, ms.cts_tx_s),
+            (SPAN_CTS_WIRE, ms.cts_tx_s, ms.cts_rx_s),
+            (SPAN_PROGRESS_STALL, ms.cts_rx_s, ms.data_tx_first_s),
+            (SPAN_DATA_WIRE, ms.data_tx_first_s, ms.data_rx_last_s),
+        ]
+        if ms.data_rx_last_s is not None:
+            late = [c for c in completes if c >= ms.data_rx_last_s]
+            if late:
+                pairs.append((SPAN_COMPLETION, ms.data_rx_last_s, max(late)))
+
+        root_id = next_id
+        next_id += 1
+        children: List[Span] = []
+        for name, t0_s, t1_s in pairs:
+            if t0_s is None or t1_s is None or t1_s < t0_s:
+                continue
+            children.append(
+                Span(next_id, msg_id, name, t0_s, t1_s, parent_id=root_id)
+            )
+            next_id += 1
+        root = Span(root_id, msg_id, SPAN_MSG, lo_s, hi_s, parent_id=None)
+        messages[msg_id] = MessageSpans(
+            msg_id=msg_id,
+            root=root,
+            children=children,
+            eager=ms.rts_tx_s is None and ms.rts_rx_s is None,
+            req_ids=tuple(ms.req_ids),
+        )
+    return SpanForest(messages)

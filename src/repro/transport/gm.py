@@ -129,6 +129,13 @@ class GmDevice(Device):
                 # Receiver bounce buffers exhausted: the library queues the
                 # prepared send until tokens flow back.
                 self._eager_backlog.setdefault(dest_node, deque()).append(job)
+                if self.engine.trace is not None:
+                    # Schema: (msg_id, dest_node) — marks the start of a
+                    # token-starvation stall for span stitching.
+                    self.engine.trace.record(
+                        self.engine.now, f"rank{self.rank}.gm",
+                        "gm_token_wait", (msg_id, dest_node),
+                    )
         else:
             # Rendezvous: cheap post, data waits for the CTS handshake.
             yield ctx.compute(gm.rndv_isend_s)

@@ -26,6 +26,8 @@ CASES = {
     "fanin_scaling.py": ([], ["peers", "aggregate bw"]),
     "timeline_trace.py": ([], ["kernel CPU"]),
     "compare_gm_portals.py": (["--per-decade", "1"], ["fig08", "fig11"]),
+    "critical_path.py": ([], ["rendezvous_stall", "span tree",
+                              "dominant cause: rendezvous_stall"]),
     "reproduce_paper.py": (["--quick", "--ids", "fig13"],
                            ["fig13", "regenerated 1 figures"]),
 }

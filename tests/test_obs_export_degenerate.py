@@ -1,0 +1,122 @@
+"""Exporters on degenerate runs (empty / single-event / all-dropped).
+
+Every export must stay schema-valid (schema_version=1) no matter how
+little survived the ring buffers, and truncation must be self-described
+in every format, not just the metrics sidecar.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs import (
+    ObsTracer,
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    write_chrome_trace,
+    write_csv_timeline,
+    write_metrics,
+)
+from repro.obs.tracer import ObsEvent
+
+SINGLE = [ObsEvent(0, 1e-6, "rank0.pww", "poll", (0,))]
+
+
+def _all_dropped_tracer():
+    """A tracer whose single-slot rings evicted all but the newest event."""
+    tracer = ObsTracer(ring_capacity=1)
+    for i in range(5):
+        tracer.record(i * 1e-6, "node0.nic", "packet_tx", ("data", i, 0))
+    return tracer
+
+
+# ------------------------------------------------------------- chrome trace
+@pytest.mark.parametrize("events", [[], SINGLE], ids=["empty", "single"])
+def test_chrome_trace_degenerate_schema(events):
+    doc = chrome_trace(events)
+    assert doc["otherData"]["schema_version"] == TRACE_SCHEMA_VERSION
+    assert isinstance(doc["traceEvents"], list)
+    # process_name metadata is always present, even with zero events.
+    assert doc["traceEvents"][0]["ph"] == "M"
+
+
+def test_chrome_trace_all_dropped_self_describing(tmp_path):
+    tracer = _all_dropped_tracer()
+    assert len(tracer.events()) == 1
+    path = write_chrome_trace(tracer.events(), tmp_path / "t.trace.json",
+                              dropped=tracer.dropped())
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["schema_version"] == TRACE_SCHEMA_VERSION
+    assert doc["otherData"]["dropped_events"] == {"packet_tx": 4}
+    drops = [e for e in doc["traceEvents"]
+             if e.get("name", "").startswith("dropped.")]
+    assert len(drops) == 1
+    assert drops[0]["args"]["dropped"] == 4
+
+
+def test_chrome_trace_empty_dropped_dict(tmp_path):
+    path = write_chrome_trace([], tmp_path / "t.trace.json", dropped={})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["dropped_events"] == {}
+    assert not any(e.get("name", "").startswith("dropped.")
+                   for e in doc["traceEvents"])
+
+
+def test_chrome_trace_no_dropped_arg_backcompat(tmp_path):
+    path = write_chrome_trace(SINGLE, tmp_path / "t.trace.json")
+    doc = json.loads(path.read_text())
+    assert "dropped_events" not in doc["otherData"]
+
+
+# -------------------------------------------------------------------- CSV
+@pytest.mark.parametrize("events", [[], SINGLE], ids=["empty", "single"])
+def test_csv_degenerate_has_header(tmp_path, events):
+    path = write_csv_timeline(events, tmp_path / "t.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["seq", "time_s", "source", "kind", "detail"]
+    assert len(rows) == 1 + len(events)
+
+
+def test_csv_all_dropped_trailer_rows(tmp_path):
+    tracer = _all_dropped_tracer()
+    path = write_csv_timeline(tracer.events(), tmp_path / "t.csv",
+                              dropped=tracer.dropped())
+    rows = list(csv.reader(path.open()))
+    trailer = rows[-1]
+    assert trailer[0] == "-1"
+    assert trailer[2] == "obs.tracer"
+    assert trailer[3] == "dropped"
+    assert json.loads(trailer[4]) == {"kind": "packet_tx", "dropped": 4}
+
+
+# ---------------------------------------------------------------- metrics
+def test_metrics_sidecar_empty_registry(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    path = write_metrics(MetricsRegistry(), tmp_path / "metrics.json")
+    doc = json.loads(path.read_text())
+    assert doc["schema_version"] == TRACE_SCHEMA_VERSION
+    assert doc["metrics"] == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ------------------------------------------------------- directory creation
+def test_exports_create_parent_dirs(tmp_path):
+    deep = tmp_path / "a" / "b" / "c"
+    assert write_chrome_trace([], deep / "t.trace.json").exists()
+    assert write_csv_timeline([], deep / "t.csv").exists()
+
+
+def test_trace_cli_unwritable_target_one_line_error(tmp_path, capsys):
+    """`comb trace` on an unwritable --out prints one line, no traceback."""
+    from repro.cli import main
+
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file where a directory must go")
+    code = main(["trace", "pww", "--system", "GM", "--size", "1",
+                 "--interval", "1000", "--out",
+                 str(blocker / "sub")])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot write trace output")
+    assert "Traceback" not in err

@@ -1,0 +1,147 @@
+"""Property tests: arbitrary event streams stitch into well-formed forests.
+
+The ISSUE's invariants, for adversarial draws:
+
+* **no cycles** — parent links form a forest (every child points at a
+  root, roots point nowhere);
+* **child within parent** — every child span's interval lies inside its
+  message root's interval;
+* **attribution fractions sum to 1 ± ulp** whenever any time was
+  attributed, for arbitrary windows over arbitrary stitched streams.
+
+Streams are drawn two ways: fully synthetic packet soup (including
+out-of-order, duplicated, and endpoint-missing events — worse than any
+ring-buffer truncation can produce), and real traced simulator runs
+subsampled at random (which *is* ring-buffer truncation).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import gm_system
+from repro.core.pww import PwwConfig, run_pww
+from repro.obs import Observer, attribute_window, stitch, use_observer
+from repro.obs.spans import CHILD_SPAN_NAMES, SPAN_MSG
+from repro.obs.tracer import ObsEvent
+
+_PKT_KINDS = ("rts", "cts", "data", "ack")
+_TIMES = st.floats(min_value=0.0, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _packet_events(draw):
+    """A shuffled soup of packet/req/bind events over a few msg_ids."""
+    n = draw(st.integers(min_value=0, max_value=60))
+    events = []
+    for seq in range(n):
+        time_s = draw(_TIMES)
+        which = draw(st.integers(min_value=0, max_value=4))
+        msg_id = draw(st.integers(min_value=1, max_value=5))
+        if which in (0, 1):
+            kind = "packet_tx" if which == 0 else "nic_rx"
+            pkt = draw(st.sampled_from(_PKT_KINDS))
+            detail = (pkt, msg_id, draw(st.integers(0, 3)))
+            events.append(ObsEvent(seq, time_s, "node0.nic", kind, detail))
+        elif which == 2:
+            events.append(ObsEvent(seq, time_s, "rank0.gm", "gm_token_wait",
+                                   (msg_id, 1)))
+        elif which == 3:
+            req_id = draw(st.integers(min_value=1, max_value=8))
+            events.append(ObsEvent(seq, time_s, "mpi.req", "msg_bind",
+                                   (req_id, msg_id, "send")))
+        else:
+            req_id = draw(st.integers(min_value=1, max_value=8))
+            kind = draw(st.sampled_from(["req_post", "req_complete"]))
+            events.append(ObsEvent(seq, time_s, "mpi.req", kind,
+                                   (req_id, "send", 1, 11, 1024)))
+    return draw(st.permutations(events))
+
+
+def _assert_well_formed(forest):
+    span_ids = set()
+    for msg in forest:
+        root = msg.root
+        assert root.name == SPAN_MSG
+        assert root.parent_id is None
+        assert root.t1_s >= root.t0_s
+        assert root.span_id not in span_ids
+        span_ids.add(root.span_id)
+        for child in msg.children:
+            # Forest shape: children point at their root, which points
+            # nowhere — two levels, so no cycle is constructible.
+            assert child.parent_id == root.span_id
+            assert child.span_id != root.span_id
+            assert child.span_id not in span_ids
+            span_ids.add(child.span_id)
+            assert child.name in CHILD_SPAN_NAMES
+            assert child.duration_s >= 0
+            assert child.t0_s >= root.t0_s - 1e-12
+            assert child.t1_s <= root.t1_s + 1e-12
+        names = [c.name for c in msg.children]
+        assert len(names) == len(set(names)), "duplicate child span kind"
+
+
+@given(events=_packet_events())
+def test_arbitrary_streams_stitch_well_formed(events):
+    _assert_well_formed(stitch(events))
+
+
+@given(events=_packet_events(), w0=_TIMES,
+       width=st.floats(min_value=1e-9, max_value=1.0,
+                       allow_nan=False, allow_infinity=False))
+def test_attribution_fractions_sum_to_one(events, w0, width):
+    forest = stitch(events)
+    causes = attribute_window(forest, w0, w0 + width)
+    total = sum(causes.values())
+    assert all(v >= 0 for v in causes.values())
+    # The sweep partitions the window exactly; the counterfactual step
+    # only moves seconds between causes.
+    assert math.isclose(total, width, rel_tol=1e-9, abs_tol=1e-15)
+    fractions = {k: v / total for k, v in causes.items()} if total else {}
+    if fractions:
+        assert math.isclose(sum(fractions.values()), 1.0, rel_tol=1e-9)
+
+
+@given(events=_packet_events())
+def test_stitch_order_insensitive(events):
+    """seq-sorting inside stitch makes input order irrelevant."""
+    a = stitch(events).to_dicts()
+    b = stitch(list(reversed(events))).to_dicts()
+    assert a == b
+
+
+# ------------------------------------------------- real-run subsample draws
+def _real_events():
+    obs = Observer()
+    with use_observer(obs):
+        run_pww(gm_system(), PwwConfig(
+            msg_bytes=64 * 1024, work_interval_iters=50_000, batches=4,
+            warmup_batches=1,
+        ))
+    return obs.events()
+
+
+_REAL_EVENTS = None
+
+
+def _real():
+    global _REAL_EVENTS
+    if _REAL_EVENTS is None:
+        _REAL_EVENTS = _real_events()
+    return _REAL_EVENTS
+
+
+@settings(max_examples=20)
+@given(data=st.data())
+def test_truncated_real_streams_stitch_well_formed(data):
+    """Random subsets of a real traced run (≈ ring-buffer truncation)."""
+    events = _real()
+    keep = data.draw(st.lists(st.booleans(), min_size=len(events),
+                              max_size=len(events)))
+    subset = [ev for ev, k in zip(events, keep) if k]
+    forest = stitch(subset)
+    _assert_well_formed(forest)
+    causes = attribute_window(forest, 0.0, 0.05)
+    assert math.isclose(sum(causes.values()), 0.05, rel_tol=1e-9)

@@ -1,0 +1,147 @@
+"""Span stitching (`repro.obs.spans`): event streams → causal span trees."""
+
+import pytest
+
+from repro.config import gm_system, portals_system
+from repro.core.pww import PwwConfig, run_pww
+from repro.obs import Observer, stitch, use_observer
+from repro.obs.spans import (
+    CHILD_SPAN_NAMES,
+    SPAN_COMPLETION,
+    SPAN_DATA_WIRE,
+    SPAN_HANDSHAKE_STALL,
+    SPAN_MSG,
+    SPAN_PROGRESS_STALL,
+    SPAN_RTS_WIRE,
+)
+from repro.obs.tracer import ObsEvent
+
+
+def _traced_pww(system, **cfg):
+    obs = Observer()
+    with use_observer(obs):
+        point = run_pww(system, PwwConfig(**cfg))
+    return point, obs.events()
+
+
+@pytest.fixture(scope="module")
+def gm_forest():
+    _, events = _traced_pww(
+        gm_system(), msg_bytes=100 * 1024, work_interval_iters=1_000_000
+    )
+    return stitch(events)
+
+
+def test_stitch_empty_stream():
+    forest = stitch([])
+    assert len(forest) == 0
+    assert forest.spans() == []
+    assert forest.to_dicts() == []
+
+
+def test_gm_rendezvous_messages_have_handshake_spans(gm_forest):
+    rndv = [m for m in gm_forest if not m.eager]
+    assert rndv, "large-message GM run produced no rendezvous messages"
+    for msg in rndv:
+        names = {s.name for s in msg.children}
+        assert SPAN_RTS_WIRE in names
+        assert SPAN_DATA_WIRE in names
+        # The Progress Rule violation: a stall on at least one side.
+        assert SPAN_HANDSHAKE_STALL in names or SPAN_PROGRESS_STALL in names
+
+
+def test_gm_progress_stall_dominates_wire(gm_forest):
+    """With a long work phase, GM's CTS sits at the sender for roughly
+    the work interval — the stall dwarfs the actual wire time."""
+    stalls = [
+        m.stall_total_s for m in gm_forest
+        if not m.eager and m.stall_total_s > 0
+    ]
+    assert stalls
+    wire = max(
+        (s.duration_s for m in gm_forest for s in m.children
+         if s.name == SPAN_DATA_WIRE),
+        default=0.0,
+    )
+    assert max(stalls) > wire
+
+
+def test_portals_stalls_near_zero():
+    """An offloaded NIC answers the handshake without application help."""
+    _, events = _traced_pww(
+        portals_system(), msg_bytes=100 * 1024, work_interval_iters=1_000_000
+    )
+    forest = stitch(events)
+    rndv = [m for m in forest if not m.eager]
+    assert rndv
+    gm_forest_stall = max(m.stall_total_s for m in rndv)
+    data_wire = max(
+        s.duration_s for m in rndv for s in m.children
+        if s.name == SPAN_DATA_WIRE
+    )
+    assert gm_forest_stall < data_wire
+
+
+def test_eager_messages_flagged(gm_forest):
+    # The small ACK-less control traffic under the eager threshold.
+    _, events = _traced_pww(
+        gm_system(), msg_bytes=8, work_interval_iters=10_000
+    )
+    forest = stitch(events)
+    assert any(m.eager for m in forest)
+    for msg in forest:
+        if msg.eager:
+            assert msg.child(SPAN_RTS_WIRE) is None
+
+
+def test_well_formed_tree(gm_forest):
+    for msg in gm_forest:
+        assert msg.root.name == SPAN_MSG
+        assert msg.root.parent_id is None
+        for child in msg.children:
+            assert child.parent_id == msg.root.span_id
+            assert child.name in CHILD_SPAN_NAMES
+            assert child.duration_s >= 0
+            assert child.t0_s >= msg.root.t0_s - 1e-12
+            assert child.t1_s <= msg.root.t1_s + 1e-12
+
+
+def test_span_ids_unique(gm_forest):
+    ids = [s.span_id for s in gm_forest.spans()]
+    assert len(ids) == len(set(ids))
+
+
+def test_req_ids_bound(gm_forest):
+    bound = [m for m in gm_forest if m.req_ids]
+    assert bound, "msg_bind events missing: no request bound to any message"
+
+
+def test_completion_span_needs_late_complete(gm_forest):
+    for msg in gm_forest:
+        comp = msg.child(SPAN_COMPLETION)
+        if comp is not None:
+            data = msg.child(SPAN_DATA_WIRE)
+            assert data is not None
+            assert comp.t0_s == data.t1_s
+
+
+def test_ack_packets_ignored():
+    """GM token-return ACKs reuse a consumed msg_id; stitching must not
+    let them resurrect or stretch that message's root span."""
+    events = [
+        ObsEvent(0, 1.0, "node0.nic", "packet_tx", ("data", 7, 0)),
+        ObsEvent(1, 2.0, "node1.nic", "nic_rx", ("data", 7, 0)),
+        ObsEvent(2, 50.0, "node1.nic", "packet_tx", ("ack", 7, 0)),
+    ]
+    forest = stitch(events)
+    assert forest.messages[7].root.t1_s == 2.0
+
+
+def test_missing_endpoint_produces_no_span():
+    events = [
+        ObsEvent(0, 1.0, "node0.nic", "packet_tx", ("rts", 3, 0)),
+    ]
+    forest = stitch(events)
+    msg = forest.messages[3]
+    assert msg.children == []
+    assert not msg.eager  # an RTS was seen, so it is a rendezvous message

@@ -10,6 +10,7 @@ so the directory accumulates a perf trajectory across PRs::
     python tools/bench_report.py                        # all figures, serial
     python tools/bench_report.py --ids fig04 fig11 --jobs 2
     python tools/bench_report.py --no-cache             # cold measurements
+    python tools/bench_report.py --compare --fail-on-regression  # sentinel
 
 Each record carries total wall time, per-figure wall time, executor cache
 hit rate, and the run's configuration, e.g.::
@@ -70,6 +71,13 @@ def main() -> int:
                         help="point-cache directory")
     parser.add_argument("--out-dir", default=str(DEFAULT_OUT_DIR),
                         help=f"trajectory directory (default: {DEFAULT_OUT_DIR})")
+    parser.add_argument("--compare", action="store_true",
+                        help="after recording, judge the new record against "
+                        "the trajectory's older records (regression "
+                        "sentinel; see repro.obs.compare)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="with --compare: exit nonzero when the new "
+                        "record regresses significantly")
     args = parser.parse_args()
 
     ids = list(args.ids) if args.ids else sorted(ALL_FIGURES)
@@ -118,6 +126,18 @@ def main() -> int:
     print(f"\ntotal {total_s:.2f}s, cache hit rate "
           f"{stats.hit_rate:.0%} ({stats.hits}/{stats.lookups})")
     print(f"wrote {path}")
+    if args.compare:
+        from repro.obs.compare import DEFAULT_MIN_RECORDS, compare_history
+
+        report = compare_history(out_dir)
+        if report is None:
+            print(f"compare: fewer than {DEFAULT_MIN_RECORDS + 1} BENCH "
+                  f"records in {out_dir}; nothing to judge yet")
+        else:
+            print(f"compare: {path.name} vs the trajectory's older records")
+            print(report.format())
+            if args.fail_on_regression and report.exit_code:
+                return report.exit_code
     return 0 if claims_ok else 1
 
 
