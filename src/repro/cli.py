@@ -8,6 +8,7 @@ Subcommands::
     comb netperf --system GM --mode busywait
     comb figures [--ids fig08 fig11] [--per-decade 2] [--out results/]
     comb report  [--per-decade 2]
+    comb bench   [--no-cache] [--profile fig04] [--compare]
 
 All sizes are in the paper's KB (KiB); intervals are work-loop iterations.
 
@@ -40,6 +41,15 @@ causal spans (:mod:`repro.obs.spans`) and each sweep point's wait time /
 availability loss is decomposed into named causes
 (:mod:`repro.obs.attribution`), printed as a table and exported as
 ``<target>.attribution.json``.
+
+``comb bench`` times one pass over the benchmark grid and appends a
+``BENCH_<n>.json`` record to the performance-trajectory directory
+(``results/bench`` by default): total and per-figure wall time, executor
+cache stats, the engine's dispatched-event count (the simulator's own
+cost model), and whether the compiled core (:mod:`repro.compiled`) was
+active.  ``--profile FIGID`` additionally embeds a cProfile
+top-cumulative table over one figure so hot-path claims stay backed by
+recorded evidence.
 
 ``comb compare`` doubles as the statistical regression sentinel: with
 two run paths (``metrics.json`` / ``BENCH_*.json`` files or directories
@@ -207,6 +217,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full reproduction report with claims")
     p.add_argument("--per-decade", type=int, default=2)
     _add_executor_flags(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the benchmark grid; append a BENCH_<n>.json trajectory "
+        "record (wall times, cache stats, engine event counts)",
+    )
+    p.add_argument("--ids", nargs="*", default=None,
+                   help="subset of figure ids (default: all)")
+    p.add_argument("--per-decade", type=int, default=1,
+                   help="grid resolution (default: 1, the coarse grid)")
+    p.add_argument("--out-dir", default=None,
+                   help="trajectory directory (default: results/bench)")
+    p.add_argument("--profile", default=None, metavar="FIGID",
+                   help="additionally cProfile one figure (serial, "
+                   "uncached) and embed the top cumulative-time rows "
+                   "in the record")
+    p.add_argument("--compare", action="store_true",
+                   help="after recording, judge the new record against the "
+                   "trajectory's older records (regression sentinel)")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="with --compare: exit nonzero when the new record "
+                   "regresses significantly")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for sweep points "
+                   "(default: 1, serial — the recommended bench mode: "
+                   "pooled points strand their event counts in workers)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk point cache (cold timings)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help=f"point-cache directory (default: {DEFAULT_CACHE_DIR})")
 
     p = sub.add_parser(
         "compare",
@@ -454,6 +494,45 @@ def _write_attribution(events, out_dir, target) -> object:
     return path
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """``comb bench``: one timed pass over the grid, one BENCH record."""
+    from pathlib import Path
+
+    from .core.bench import DEFAULT_OUT_DIR, run_bench, write_record
+
+    cache = None if args.no_cache else PointCache(args.cache_dir)
+    try:
+        record = run_bench(ids=args.ids, per_decade=args.per_decade,
+                           jobs=args.jobs, cache=cache,
+                           profile=args.profile, echo=print)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir) if args.out_dir else DEFAULT_OUT_DIR
+    path = write_record(record, out_dir)
+    cache_doc = record["cache"]
+    lookups = cache_doc["hits"] + cache_doc["misses"]
+    line = (f"\ntotal {record['total_s']:.2f}s, cache hit rate "
+            f"{cache_doc['hit_rate']:.0%} ({cache_doc['hits']}/{lookups})")
+    if "events_processed" in record:
+        line += f", {record['events_processed']:,} engine events"
+    print(line)
+    print(f"wrote {path}")
+    if args.compare:
+        from .obs.compare import DEFAULT_MIN_RECORDS, compare_history
+
+        report = compare_history(out_dir)
+        if report is None:
+            print(f"compare: fewer than {DEFAULT_MIN_RECORDS + 1} BENCH "
+                  f"records in {out_dir}; nothing to judge yet")
+        else:
+            print(f"compare: {path.name} vs the trajectory's older records")
+            print(report.format())
+            if args.fail_on_regression and report.exit_code:
+                return report.exit_code
+    return 0 if record["claims_ok"] else 1
+
+
 def _run_compare_runs(args: argparse.Namespace) -> int:
     """``comb compare <runs…>``: the statistical regression sentinel."""
     from pathlib import Path
@@ -584,6 +663,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.check:
             return _report_violations(executor.violations)
         return 0
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "compare":
         if args.runs:

@@ -1,0 +1,173 @@
+"""Benchmark-trajectory recording shared by ``comb bench`` and
+``tools/bench_report.py``.
+
+One *record* is one timed pass over the coarse benchmark grid (the paper
+figures at 1 point/decade by default).  Records append to a trajectory
+directory as ``BENCH_<n>.json`` — ``<n>`` one past the highest existing
+record — so the directory accumulates the suite's performance history
+across PRs; ``comb compare <dir>`` judges the newest record against the
+older ones.
+
+Each record carries total and per-figure wall time, the executor cache
+hit rate, the engine event count (the simulator's own cost model — burst
+batching and quiescence fast-forward exist to shrink it), whether the
+compiled core was active, and optionally a cProfile top table over one
+figure (``profile=...``) so hot-path claims in CHANGES.md are backed by
+recorded evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .. import compiled
+from ..obs import MetricsRegistry
+from .executor import PointCache, SweepExecutor, code_salt
+
+DEFAULT_OUT_DIR = Path("results") / "bench"
+
+#: Rows of the embedded cProfile table (sorted by cumulative time).
+PROFILE_TOP_ROWS = 20
+
+
+def next_record_path(out_dir: Path) -> Path:
+    """``BENCH_<n>.json`` with ``n`` = highest existing + 1 (1-based)."""
+    highest = 0
+    for f in out_dir.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", f.name)
+        if m:
+            highest = max(highest, int(m.group(1)))
+    return out_dir / f"BENCH_{highest + 1}.json"
+
+
+def profile_figure(fig_id: str, per_decade: int = 1) -> Dict[str, Any]:
+    """cProfile one figure (serial, uncached, so every point simulates
+    in-process) and return the top cumulative-time rows as JSON rows.
+
+    The run is separate from the timed pass: profiling slows execution by
+    tens of percent, which would corrupt the wall-time trajectory.
+    """
+    import cProfile
+    import pstats
+
+    from ..analysis import run_figure
+
+    profiler = cProfile.Profile()
+    with SweepExecutor(jobs=1, cache=None) as executor:
+        profiler.enable()
+        run_figure(fig_id, per_decade=per_decade, executor=executor)
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[:PROFILE_TOP_ROWS]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append({
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+            "function": f"{filename}:{line}({name})",
+        })
+    return {"figure": fig_id, "per_decade": per_decade, "top": rows}
+
+
+def run_bench(
+    ids: Optional[List[str]] = None,
+    per_decade: int = 1,
+    jobs: int = 1,
+    cache: Optional[PointCache] = None,
+    profile: Optional[str] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, Any]:
+    """Time one pass over the benchmark grid; return the record dict.
+
+    ``ids`` defaults to every figure; ``profile`` names a figure id to
+    additionally cProfile (top rows embedded under ``"profile"``).
+    ``echo`` receives one progress line per figure.
+    """
+    from ..analysis import run_figure
+    from ..analysis.figures import ALL_FIGURES
+
+    fig_ids = list(ids) if ids else sorted(ALL_FIGURES)
+    unknown = [i for i in fig_ids if i not in ALL_FIGURES]
+    if unknown:
+        raise ValueError(
+            f"unknown figure ids: {unknown}; have {sorted(ALL_FIGURES)}"
+        )
+    registry = MetricsRegistry()
+    per_figure: Dict[str, float] = {}
+    claims_ok = True
+    t_total_s = time.time()
+    with SweepExecutor(jobs=jobs, cache=cache, metrics=registry) as executor:
+        for fig_id in fig_ids:
+            t0 = time.time()
+            report = run_figure(fig_id, per_decade=per_decade,
+                                executor=executor)
+            per_figure[fig_id] = round(time.time() - t0, 4)
+            claims_ok = claims_ok and report.ok
+            echo(f"{fig_id}: {per_figure[fig_id]:7.2f}s "
+                 f"({'ok' if report.ok else 'CLAIMS FAILED'})")
+        stats = executor.stats
+    total_s = time.time() - t_total_s
+
+    record: Dict[str, Any] = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "per_decade": per_decade,
+        "jobs": jobs,
+        "cache_enabled": cache is not None,
+        "code_salt": code_salt(),
+        "python": platform.python_version(),
+        # Which simulation core produced this record (see repro.compiled).
+        "compiled": compiled.active(),
+        "total_s": round(total_s, 4),
+        "figures": per_figure,
+        "cache": stats.to_dict(),
+        # Wall-clock stage profile from the observability layer: cache
+        # lookup latency, per-point simulation wall times, fan-out
+        # utilization (see docs/observability.md).
+        "metrics": registry.to_dict(),
+        "claims_ok": claims_ok,
+    }
+    events = events_processed_total(registry)
+    if events is not None:
+        # The simulator's own cost model: heap events dispatched across
+        # all in-process points (pooled points simulate elsewhere).
+        record["events_processed"] = events
+    if profile is not None:
+        echo(f"profiling {profile} (serial, uncached)...")
+        record["profile"] = profile_figure(profile, per_decade=per_decade)
+    return record
+
+
+def events_processed_total(registry: MetricsRegistry) -> Optional[int]:
+    """Sum the per-point engine event counters out of a metrics registry,
+    or ``None`` when the registry carries none (e.g. all points pooled)."""
+    doc = registry.to_dict()
+    total = 0
+    seen = False
+    for name, series in doc.get("counters", {}).items():
+        if name != "sim.events_processed":
+            continue
+        seen = True
+        if isinstance(series, (int, float)):
+            total += int(series)
+        elif isinstance(series, dict):
+            total += int(sum(v for v in series.values()
+                             if isinstance(v, (int, float))))
+    return total if seen else None
+
+
+def write_record(record: Dict[str, Any], out_dir: Union[str, Path]) -> Path:
+    """Append ``record`` to the trajectory directory; return its path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = next_record_path(out)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..config import SystemConfig
 from ..obs.context import current_observer
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
+from .accounting import drain_events
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
 from .results import PollingPoint, PwwPoint
@@ -509,8 +510,14 @@ class SweepExecutor:
             if violations:
                 self.violations.extend(violations)
             busy_s += wall_s
+        # Drain unconditionally so counts never leak into a later executor;
+        # pooled points tallied in worker processes are lost by design (see
+        # repro.core.accounting).
+        events = drain_events()
         if timed:
             assert metrics is not None
+            if events:
+                metrics.counter("sim.events_processed").inc(events)
             batch_wall_s = time.perf_counter() - t_batch0_s
             metrics.counter("executor.batches").inc()
             metrics.counter("executor.points_simulated").inc(len(tasks))

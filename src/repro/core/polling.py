@@ -10,7 +10,8 @@ reports an unfettered trade-off between bandwidth and CPU availability as
 the poll interval varies.
 
 Simulation note: runs of *empty* poll cycles (work + negative test) are
-deterministic, so they are aggregated into a single CPU occupation that
+deterministic, so they are aggregated (:mod:`repro.core.quiescence`) into a
+single CPU occupation that
 ends — rounded up to the cycle boundary — when the device signals activity.
 This is exact with respect to the method's semantics (a completion is
 always discovered at a poll boundary) and keeps event counts proportional
@@ -19,7 +20,6 @@ to message traffic rather than poll frequency.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
@@ -27,6 +27,8 @@ from ..config import SystemConfig
 from ..mpi.request import Request
 from ..mpi.world import World, build_world
 from ..sim.units import msec
+from .accounting import tally_events
+from .quiescence import absorb_empty_cycles
 from .results import PollingPoint
 from .workloop import work_time
 
@@ -75,6 +77,7 @@ def run_polling(system: SystemConfig, cfg: PollingConfig) -> PollingPoint:
     )
     world.engine.spawn(_support(world, cfg), name="comb.polling.support")
     world.engine.run(worker)
+    tally_events(world.engine.events_processed)
     assert state.result is not None
     return state.result
 
@@ -144,17 +147,10 @@ def _worker(
             # A horizon bounds the spin at the warmup/measurement edge so a
             # fully stalled pipeline cannot overshoot the window.
             horizon_at = t_end_s if measuring else warmup_end
-            remaining = horizon_at - engine.now
-            if remaining > 0:
-                wake = dev.wakeup()
-                stop_ev = engine.any_of([wake, engine.timeout(remaining)])
-                u0 = cpu.context_time(ctx)
-                yield cpu.spin_until(ctx, stop_ev)
-                spun = cpu.context_time(ctx) - u0
-                cycles = math.floor(spun / cycle_s) + 1
-                remainder = cycles * cycle_s - spun
-                if remainder > 0:
-                    yield ctx.compute(remainder)
+            cycles = yield from absorb_empty_cycles(
+                cpu, ctx, dev, cycle_s, horizon_at
+            )
+            if cycles:
                 iters_done += cycles * p_iters
                 polls += cycles
                 if trace is not None:

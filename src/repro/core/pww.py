@@ -27,6 +27,8 @@ import numpy as np
 from ..config import SystemConfig
 from ..mpi.request import Request
 from ..mpi.world import World, build_world
+from .accounting import tally_events
+from .quiescence import quiescent_compute
 from .results import PwwPoint
 from .workloop import work_time
 
@@ -86,6 +88,7 @@ def run_pww(system: SystemConfig, cfg: PwwConfig) -> PwwPoint:
     worker = world.engine.spawn(_worker(world, cfg, state), name="comb.pww.worker")
     world.engine.spawn(_support(world, cfg), name="comb.pww.support")
     world.engine.run(worker)
+    tally_events(world.engine.events_processed)
     assert state.result is not None
     return state.result
 
@@ -107,6 +110,7 @@ def _worker(
     system = world.system
     node = world.cluster[0]
     ctx = node.new_context("comb.pww.worker")
+    cpu = ctx.cpu
     h = world.endpoint(0).bind(ctx)
     # Tracer seam (observability): hoisted so the detached path pays one
     # ``is None`` check per batch and nothing else.
@@ -150,7 +154,10 @@ def _worker(
                 yield from h.testsome(reqs)
             yield ctx.compute((cfg.work_interval_iters - head) * iter_s)
         else:
-            yield ctx.compute(work_dry_s)
+            # No MPI calls in the work phase: when the node is otherwise
+            # silent (offload drained, no kernel work pending) the span is
+            # quiescent and the clock jumps it in one step.
+            yield from quiescent_compute(cpu, ctx, work_dry_s)
         t2 = engine.now
 
         # ---------------------------------------------------- wait phase

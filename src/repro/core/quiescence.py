@@ -1,0 +1,104 @@
+"""Quiescence helpers: skip simulated time that provably contains nothing.
+
+Discrete-event runs of the COMB methods spend most of their simulated time
+*quiescent*: a worker grinding through poll cycles that all miss, or a work
+interval on a node whose device has gone silent.  Simulating those spans
+event-by-event makes the event count proportional to poll frequency rather
+than message traffic.  The primitives here collapse such spans:
+
+* :func:`absorb_empty_cycles` — the polling method's aggregation (paper
+  §2.1): spin through whole empty poll cycles in one CPU occupation, then
+  land exactly on a cycle boundary.  Extracted from ``core/polling.py`` so
+  any poll-shaped driver can reuse it.
+* :func:`quiescent_compute` — a drop-in for ``ctx.compute(seconds)`` that
+  advances the clock analytically via :meth:`Engine.fast_forward` when the
+  context is provably the only activity in the world, and falls back to
+  the real compute path (same floats, same events) otherwise.
+
+Both are exact with respect to the methods' semantics; both are gated by
+the golden-drift bit-identity tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.cpu import CPU, CpuContext
+    from ..transport.base import TransportDevice
+
+
+def absorb_empty_cycles(
+    cpu: "CPU",
+    ctx: "CpuContext",
+    dev: "TransportDevice",
+    cycle_s: float,
+    horizon_at: float,
+) -> Iterator[object]:
+    """Spin ``ctx`` through whole empty poll cycles until the device
+    signals activity or ``horizon_at`` is reached, then land exactly on a
+    poll-cycle boundary.  Returns the number of cycles absorbed (>= 1 when
+    any spinning happened, 0 if the horizon had already passed).
+
+    A cycle is ``work + negative test``; a completion is always discovered
+    at a poll boundary, so rounding the spun time *up* to the next boundary
+    is exact with respect to the polling method's semantics.  The horizon
+    bounds the spin at the warmup/measurement edge so a fully stalled
+    pipeline cannot overshoot the window.
+
+    Use as ``cycles = yield from absorb_empty_cycles(...)``.
+    """
+    engine = cpu.engine
+    remaining = horizon_at - engine.now
+    if remaining <= 0:
+        return 0
+    wake = dev.wakeup()
+    stop_ev = engine.any_of([wake, engine.timeout(remaining)])
+    u0 = cpu.context_time(ctx)
+    yield cpu.spin_until(ctx, stop_ev)
+    spun = cpu.context_time(ctx) - u0
+    cycles = math.floor(spun / cycle_s) + 1
+    remainder = cycles * cycle_s - spun
+    if remainder > 0:
+        yield ctx.compute(remainder)
+    return cycles
+
+
+def quiescent_compute(
+    cpu: "CPU", ctx: "CpuContext", seconds: float
+) -> Iterator[object]:
+    """Occupy ``ctx`` for ``seconds`` of user time, fast-forwarding the
+    clock when the span is provably quiescent.
+
+    The span is quiescent when this context is the only runnable activity
+    (its CPU is fully idle) and no heap event precedes the end of the
+    span — then nothing can preempt or interleave, the compute's only
+    observable effect is ``now`` and the user-time counters advancing, and
+    :meth:`Engine.fast_forward` performs the identical float arithmetic
+    (``now + seconds``) without a heap round-trip.  Any pending activity
+    falls back to ``ctx.compute`` — same floats, same events, bit-identical
+    timing.
+
+    Use as ``yield from quiescent_compute(cpu, ctx, seconds)``.
+    """
+    engine = cpu.engine
+    parked = cpu._preempted
+    now0 = engine._now
+    if (
+        seconds > 0.0
+        and cpu._running is None
+        and cpu._kernel_job is None
+        and not cpu._ready
+        and not cpu._kernel_queue
+        and (parked is None or parked.ctx is ctx)
+        and engine.fast_forward(now0 + seconds)
+    ):
+        # Replicate the timer path's accounting arithmetic: elapsed is the
+        # difference of absolute instants, not the requested duration (the
+        # two can differ by a ulp).
+        elapsed_s = engine._now - now0
+        ctx.user_time_s += elapsed_s
+        cpu.user_time_s += elapsed_s
+        return
+    yield ctx.compute(seconds)

@@ -51,6 +51,22 @@ class Cluster:
                     loss, self.rng.stream(f"loss.link{nid}")
                 )
             self.nodes.append(node)
+        if n_nodes == 2 and tracer is None and engine.trace is None:
+            # Exclusive routes: each wire carries exactly one sender's
+            # traffic, so the NICs can run the event-lean fast pump and
+            # burst-batch multi-fragment messages (see NIC.enable_fast).
+            # Traced runs keep the legacy per-packet path so observer and
+            # sanitizer see the exact per-packet record stream.
+            from ..sim.resources import BurstDomain
+
+            domain = BurstDomain()
+            routes = {nid: self.switch.out_link(nid) for nid in range(n_nodes)}
+            for nid in range(n_nodes):
+                routes[nid].rx_nic = self.nodes[nid].nic
+                self.nodes[nid].nic.host_bus.domain = domain
+                routes[nid]._pipe.domain = domain
+            for node in self.nodes:
+                node.nic.enable_fast(self.switch, routes, domain)
 
     def __len__(self) -> int:
         return len(self.nodes)

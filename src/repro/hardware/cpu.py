@@ -87,7 +87,7 @@ class CpuContext:
 class _KernelJob:
     __slots__ = ("cost", "fn", "event", "label")
 
-    def __init__(self, cost: float, fn, event: Event, label: str):
+    def __init__(self, cost: float, fn, event: Optional[Event], label: str):
         self.cost = cost
         self.fn = fn
         self.event = event
@@ -146,17 +146,23 @@ class CPU:
 
     # ------------------------------------------------------------ kernel side
     def kernel_work(
-        self, cost_s: float, fn: Optional[Callable[[], None]] = None, label: str = ""
-    ) -> Event:
+        self,
+        cost_s: float,
+        fn: Optional[Callable[[], None]] = None,
+        label: str = "",
+        want_event: bool = True,
+    ) -> Optional[Event]:
         """Submit ``cost_s`` seconds of kernel-mode work (FIFO, preempts user).
 
         ``fn`` runs when the work completes (use it to commit the state
         change the kernel work represents, e.g. "copy done").  The returned
-        event fires at the same instant.
+        event fires at the same instant.  Callers that only care about
+        ``fn`` (interrupt delivery) pass ``want_event=False`` and get
+        ``None`` back — no completion event is allocated.
         """
         if cost_s < 0:
             raise ValueError("negative kernel work cost")
-        job = _KernelJob(cost_s, fn, Event(self.engine), label)
+        job = _KernelJob(cost_s, fn, Event(self.engine) if want_event else None, label)
         self._kernel_queue.append(job)
         if self._running is not None:
             self._pause_user()
@@ -173,6 +179,7 @@ class CPU:
         """
         ctx._in_trap += 1
         ev = self.kernel_work(cost_s, fn, label=label)
+        assert ev is not None
 
         def _leave(_ev) -> None:
             ctx._in_trap -= 1
@@ -256,7 +263,7 @@ class CPU:
         grant = self._running
         if grant is not None and grant.ctx is ctx:
             # The spinner holds the CPU: it observes the event right now.
-            now = self.engine.now
+            now = self.engine._now
             elapsed_s = now - grant.resume_time
             ctx.user_time_s += elapsed_s
             self.user_time_s += elapsed_s
@@ -269,7 +276,12 @@ class CPU:
             ctx._event = None
             ctx._remaining = None
             ev.succeed()
-            self._defer_dispatch()
+            if self._ready or self._kernel_queue:
+                self._defer_dispatch()
+            # Otherwise nothing can claim the CPU except a fresh request,
+            # and every entry point (_submit_compute, spin_until,
+            # kernel_work) dispatches itself — the parked grant either
+            # continues or lapses there, with identical semantics.
         else:
             # Off-CPU (preempted by kernel work or waiting in the ready
             # queue): a busy-wait loop only *observes* the event once it is
@@ -284,7 +296,14 @@ class CPU:
         re-request the CPU (continuing their quantum) before the slot is
         handed to another ready context.
         """
-        self.engine.schedule_callback(0.0, self._dispatch)
+        ev = Event(self.engine)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(self._dispatch_cb)
+        self.engine._enqueue(ev, 1)
+
+    def _dispatch_cb(self, _ev) -> None:
+        self._dispatch()
 
     # ------------------------------------------------------------- accounting
     def elapsed(self) -> float:
@@ -324,37 +343,59 @@ class CPU:
         """User CPU seconds consumed by ``ctx`` up to this instant."""
         t = ctx.user_time_s
         if self._running is not None and self._running.ctx is ctx:
-            t += self.engine.now - self._running.resume_time
+            t += self.engine._now - self._running.resume_time
         return t
 
     # --------------------------------------------------------------- internal
     def _start_next_kernel(self) -> None:
         job = self._kernel_queue.popleft()
         self._kernel_job = job
-        self._kernel_started = self.engine.now
+        self._kernel_started = self.engine._now
+        # Raw pre-triggered event: same heap insertion and float arithmetic
+        # as engine.timeout(job.cost), minus the Timeout wrapper.  The job
+        # rides in the event value (a completion ``fn`` may submit further
+        # kernel work before this callback finishes, so ``_kernel_job`` is
+        # not reliable at fire time) — a bound method replaces a per-job
+        # closure.
+        timer = Event(self.engine)
+        timer._ok = True
+        timer._value = job
+        timer.callbacks.append(self._kernel_done_cb)
+        self.engine._enqueue(timer, 1, job.cost)
 
-        def _done(_ev) -> None:
-            self.kernel_time_s += job.cost
-            entry = self.kernel_profile.setdefault(job.label, [0, 0.0])
-            entry[0] += 1
-            entry[1] += job.cost
-            self._kernel_job = None
-            if job.fn is not None:
-                job.fn()
-            if not job.event.triggered:
-                job.event.succeed()
-            if self._kernel_queue:
-                self._start_next_kernel()
+    def _kernel_done_cb(self, timer: Event) -> None:
+        job = timer._value
+        self.kernel_time_s += job.cost
+        entry = self.kernel_profile.get(job.label)
+        if entry is None:
+            entry = self.kernel_profile[job.label] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += job.cost
+        self._kernel_job = None
+        if job.fn is not None:
+            job.fn()
+        ev = job.event
+        if ev is not None and not ev.triggered:
+            if ev.callbacks:
+                ev.succeed()
             else:
-                self._dispatch()
-
-        timer = self.engine.timeout(job.cost)
-        timer.callbacks.append(_done)
+                # Nobody is listening (fn-style interrupt work): complete
+                # in place instead of a heap round-trip.  A later yield
+                # of this event still resumes inline via the
+                # processed-event path in Process._resume.
+                ev._ok = True
+                ev._value = None
+                ev._processed = True
+                ev.callbacks = None
+        if self._kernel_queue:
+            self._start_next_kernel()
+        else:
+            self._dispatch()
 
     def _pause_user(self) -> None:
         grant = self._running
         assert grant is not None
-        now = self.engine.now
+        now = self.engine._now
         elapsed_s = now - grant.resume_time
         grant.ctx._remaining -= elapsed_s
         grant.ctx.user_time_s += elapsed_s
@@ -395,8 +436,8 @@ class CPU:
             if not self._ready:
                 return
             ctx = self._ready.popleft()
-            grant = _Grant(ctx, self.engine.now, self.config.timeslice_s)
-        grant.resume_time = self.engine.now
+            grant = _Grant(ctx, self.engine._now, self.config.timeslice_s)
+        grant.resume_time = self.engine._now
         self._running = grant
         if grant.ctx._spin_release:
             # The awaited event fired while this context was off-CPU: the
@@ -416,7 +457,8 @@ class CPU:
         ctx._remaining = None
         if ev is not None and not ev.triggered:
             ev.succeed()
-        self._defer_dispatch()
+        if self._ready or self._kernel_queue:
+            self._defer_dispatch()
 
     def _arm_timer(self, grant: _Grant) -> None:
         ctx = grant.ctx
@@ -429,39 +471,46 @@ class CPU:
         grant.untimed = False
         # The timer may be (re)armed mid-run (lazy arming): account for the
         # stretch already executed since the grant resumed.
-        already = self.engine.now - grant.resume_time
+        already = self.engine._now - grant.resume_time
         # Clamp float drift: repeated preemption subtracts elapsed times and
         # can leave remainders a few ulp below zero.
         quantum = max(grant.quantum_left - already, 0.0)
         remaining = max(ctx._remaining - already, 0.0)
         completes = remaining <= quantum
         run_for = remaining if completes else quantum
-        epoch = grant.epoch
 
-        def _fire(_ev) -> None:
-            if self._running is not grant or grant.epoch != epoch:
-                return  # stale timer: grant was preempted meanwhile
-            now = self.engine.now
-            elapsed_s = now - grant.resume_time
-            ctx.user_time_s += elapsed_s
-            self.user_time_s += elapsed_s
-            ctx._remaining -= elapsed_s
-            grant.quantum_left -= elapsed_s
-            self._running = None
-            if completes:
-                ev = ctx._event
-                ctx._event = None
-                ctx._remaining = None
-                if ev is not None and not ev.triggered:
-                    ev.succeed()
-                # Park the grant so an immediate follow-up request from the
-                # same context continues its quantum.
-                self._preempted = grant
+        # Timer state rides in the (otherwise unused) event value; a bound
+        # method replaces a per-arm closure on this hot path.
+        timer = Event(self.engine)
+        timer._ok = True
+        timer._value = (grant, grant.epoch, completes)
+        timer.callbacks.append(self._timer_cb)
+        self.engine._enqueue(timer, 1, run_for)
+
+    def _timer_cb(self, timer: Event) -> None:
+        grant, epoch, completes = timer._value
+        if self._running is not grant or grant.epoch != epoch:
+            return  # stale timer: grant was preempted meanwhile
+        ctx = grant.ctx
+        now = self.engine._now
+        elapsed_s = now - grant.resume_time
+        ctx.user_time_s += elapsed_s
+        self.user_time_s += elapsed_s
+        ctx._remaining -= elapsed_s
+        grant.quantum_left -= elapsed_s
+        self._running = None
+        if completes:
+            ev = ctx._event
+            ctx._event = None
+            ctx._remaining = None
+            if ev is not None and not ev.triggered:
+                ev.succeed()
+            # Park the grant so an immediate follow-up request from the
+            # same context continues its quantum.
+            self._preempted = grant
+            if self._ready or self._kernel_queue:
                 self._defer_dispatch()
-            else:
-                # Quantum expiry: rotate to the tail of the ready queue.
-                self._ready.append(ctx)
-                self._dispatch()
-
-        timer = self.engine.timeout(run_for)
-        timer.callbacks.append(_fire)
+        else:
+            # Quantum expiry: rotate to the tail of the ready queue.
+            self._ready.append(ctx)
+            self._dispatch()

@@ -35,11 +35,11 @@ class InterruptController:
         handler_cost_s: float,
         fn: Optional[Callable[[], None]] = None,
         label: str = "",
-    ) -> Event:
+    ) -> Optional[Event]:
         """Deliver an interrupt whose handler body costs ``handler_cost_s``.
 
-        Returns the event fired when the handler (including ``fn``)
-        completes.
+        The handler's effect is ``fn``; no completion event is allocated
+        (interrupts are fire-and-forget — every caller acts in ``fn``).
         """
         self.count += 1
         cost = handler_cost_s
@@ -52,4 +52,6 @@ class InterruptController:
         else:
             cost += self.config.entry_s + self.config.exit_s
         self.time_charged_s += cost
-        return self.cpu.kernel_work(cost, fn, label=label or f"{self.name}.irq")
+        return self.cpu.kernel_work(
+            cost, fn, label=label or f"{self.name}.irq", want_event=False
+        )

@@ -10,6 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
+from . import events as _events
 from .errors import EmptySchedule, SimulationError
 from .events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
 from .process import Process, ProcessGenerator
@@ -29,7 +30,8 @@ class Engine:
         Optional :class:`repro.sim.trace.Tracer` receiving kernel events.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "trace")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "trace",
+                 "events_processed")
 
     def __init__(self, start_time: float = 0.0, trace=None):
         self._now = float(start_time)
@@ -37,6 +39,10 @@ class Engine:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.trace = trace
+        #: Heap events dispatched so far — the cost model of the simulator
+        #: itself.  Burst batching exists to shrink this number; the bench
+        #: tooling and the event-count regression tests read it.
+        self.events_processed = 0
 
     # ----------------------------------------------------------------- clock
     @property
@@ -85,6 +91,14 @@ class Engine:
         self._seq = seq + 1
         heapq.heappush(self._queue, (self._now + delay_s, priority, seq, event))
 
+    def _enqueue_at(self, event: Event, priority: int, when_s: float) -> None:
+        """Insert a triggered event at an *absolute* time (no ``now`` +
+        ``delay`` round-trip, which costs a ulp the burst path can't
+        afford when reproducing legacy event times exactly)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when_s, priority, seq, event))
+
     def schedule_callback(
         self, delay_s: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
     ) -> Event:
@@ -97,6 +111,27 @@ class Engine:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``INFINITY`` if none."""
         return self._queue[0][0] if self._queue else INFINITY
+
+    def fast_forward(self, until_s: float) -> bool:
+        """Analytically advance the clock across a quiescent span.
+
+        When the caller knows nothing can change state before ``until_s``
+        (it is the only runnable activity and is idle), and no heap event
+        precedes ``until_s``, the clock jumps straight there — no events
+        are dispatched, no bookkeeping grinds.  Returns ``True`` if the
+        clock moved, ``False`` if a pending event forbids the jump (the
+        caller must then wait through the event loop as usual).
+        """
+        if until_s <= self._now:
+            return False
+        if self._queue and self._queue[0][0] <= until_s:
+            # An event *at* ``until_s`` also forbids the jump: whether it
+            # would fire before or after the caller's continuation depends
+            # on heap sequence numbers the caller cannot know, so the safe
+            # answer is to make it wait through the event loop.
+            return False
+        self._now = until_s
+        return True
 
     def step(self) -> None:
         """Process the single next event.
@@ -113,6 +148,7 @@ class Engine:
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         if self.trace is not None:
@@ -156,42 +192,63 @@ class Engine:
         # in sync.
         queue = self._queue
         pop = heapq.heappop
-        if stop_event is not None:
-            while not stop_event._processed:
-                if not queue:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited "
-                        "event fired (deadlock?)"
-                    )
+        trace = self.trace  # set at construction only; safe to hoist
+        n_done = 0
+        try:
+            if stop_event is not None:
+                while not stop_event._processed:
+                    if not queue:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event fired (deadlock?)"
+                        )
+                    when, _prio, _seq, event = pop(queue)
+                    self._now = when
+                    n_done += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if trace is not None:
+                        trace.record_kernel(when, event)
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            while queue and queue[0][0] <= stop_at:
                 when, _prio, _seq, event = pop(queue)
                 self._now = when
+                n_done += 1
                 callbacks, event.callbacks = event.callbacks, None
                 event._processed = True
-                if self.trace is not None:
-                    self.trace.record_kernel(when, event)
+                if trace is not None:
+                    trace.record_kernel(when, event)
                 if callbacks:
                     for callback in callbacks:
                         callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
-            if stop_event._ok:
-                return stop_event._value
-            raise stop_event._value
-        while queue and queue[0][0] <= stop_at:
-            when, _prio, _seq, event = pop(queue)
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            event._processed = True
-            if self.trace is not None:
-                self.trace.record_kernel(when, event)
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
-        if stop_at != INFINITY:
-            self._now = max(self._now, stop_at)
-        return None
+            if stop_at != INFINITY:
+                self._now = max(self._now, stop_at)
+            return None
+        finally:
+            self.events_processed += n_done
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self._now:.9f} pending={len(self._queue)}>"
+
+
+#: The pure-Python reference engine, importable regardless of backend.
+PyEngine = Engine
+
+if _events._BACKEND == "c":
+    # The events module already imported the extension and rebound Event;
+    # swap the engine too and hand over the engine-side classes.  Both
+    # swaps key off the same flag, so the two C types always travel
+    # together (a C Engine typechecks events against the C Event base).
+    from repro import _simcore as _sc
+
+    Engine = _sc.Engine  # type: ignore[assignment,misc]
+    _sc._install(EmptySchedule=EmptySchedule, Process=Process)

@@ -137,6 +137,32 @@ class Event:
 #: Sentinel marking "no value yet"; distinct from a legitimate ``None`` value.
 _PENDING = object()
 
+# ---------------------------------------------------------------------------
+# Optional C-accelerated kernel (``repro._simcore``).  The pure-Python class
+# above stays the reference implementation and the default; when the user
+# opts in (``COMB_COMPILED=1``) and the extension has been built
+# (``tools/build_compiled.py``), ``Event`` is rebound to the C type so every
+# subclass below — and every importer — inherits the accelerated base.  The
+# contract is bit identity: the C type replicates the heap key, the float
+# arithmetic, callback order, and error messages exactly (enforced by the
+# golden matrix, the traced-vs-bare suite, and step/run parity).
+from repro import compiled as _compiled  # noqa: E402  (stdlib-only, no cycle)
+
+#: The pure-Python reference class, importable regardless of backend.
+PyEvent = Event
+
+#: Which kernel backend this process runs: ``"python"`` or ``"c"``.
+_BACKEND = "python"
+
+if _compiled.requested():
+    try:
+        from repro import _simcore as _sc
+    except ImportError:  # not built — transparent fallback to pure Python
+        pass
+    else:
+        Event = _sc.Event  # type: ignore[assignment,misc]
+        _BACKEND = "c"
+
 
 class Timeout(Event):
     """An event that fires ``delay_s`` simulated seconds after creation."""
@@ -223,3 +249,15 @@ class AnyOf(Condition):
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine, lambda total, done: done >= 1, events)
+
+
+if _BACKEND == "c":
+    # Hand the C types the Python-side classes they raise and construct
+    # (deferred to module end so the classes exist).
+    _sc._install(
+        SimulationError=SimulationError,
+        Timeout=Timeout,
+        AllOf=AllOf,
+        AnyOf=AnyOf,
+        PENDING=_PENDING,
+    )

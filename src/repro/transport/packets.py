@@ -29,7 +29,7 @@ def next_msg_id() -> int:
     return next(_msg_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """MPI matching envelope carried by a message's first packet (or RTS)."""
 
@@ -42,7 +42,7 @@ class Envelope:
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One unit of wire transfer."""
 

@@ -1,6 +1,7 @@
 """Unit tests: Resource, Store and Pipe primitives."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import Engine, Pipe, Resource, SimulationError, Store
 
@@ -141,3 +142,68 @@ class TestPipe:
         pipe = Pipe(engine, bandwidth_Bps=10.0)
         with pytest.raises(ValueError):
             pipe.transfer(-1)
+
+
+class _HeapOnlyResource(Resource):
+    """Reference implementation: every request rides the priority heap.
+
+    The production :class:`Resource` short-cuts priority-0 requests onto a
+    plain deque and merges the two lanes at grant time; this subclass
+    bypasses the deque so the property test below can prove the merge is
+    semantically invisible."""
+
+    def request(self, priority: int = 0):
+        import heapq
+
+        from repro.sim.resources import Request
+
+        req = Request(self, priority)
+        if len(self._users) < self.capacity and not self._waiting \
+                and not self._fifo:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._waiting, (priority, req._order, req))
+        return req
+
+
+class TestFifoLaneParity:
+    """Property: the priority-0 FIFO fast lane is indistinguishable from
+    pushing everything through the heap — same holders after every op."""
+
+    def _drive(self, res, ops):
+        created = []
+        trace = []
+        for op, arg in ops:
+            if op == "req":
+                created.append(res.request(priority=arg))
+            elif op == "rel":
+                held = [r for r in created if r in res._users]
+                if held:
+                    res.release(held[arg % len(held)])
+            else:  # "cxl": withdraw a still-waiting request
+                waiting = [r for r in created if not r.triggered]
+                if waiting:
+                    waiting[arg % len(waiting)].cancel()
+            trace.append((
+                sorted(created.index(r) for r in res._users),
+                res.queue_length,
+            ))
+        return trace
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=3),
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("req"), st.integers(0, 3)),
+                st.tuples(st.just("rel"), st.integers(0, 15)),
+                st.tuples(st.just("cxl"), st.integers(0, 15)),
+            ),
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fifo_lane_matches_heap(self, capacity, ops):
+        fast = self._drive(Resource(Engine(), capacity), ops)
+        ref = self._drive(_HeapOnlyResource(Engine(), capacity), ops)
+        assert fast == ref

@@ -1,11 +1,17 @@
-"""Golden-drift regression: the sanitizer is observation-only.
+"""Golden-drift regression: every execution mode reproduces the bits.
 
-``SweepExecutor(check=True)`` must produce the *same bits* as the
-unchecked path.  The strongest witness we have is the golden value set:
-``tests/golden_values.json`` was recorded without the sanitizer, so exact
-equality under ``check=True`` proves the sanitizer changed nothing — and
-the same runs must report zero violations (the clean-suite guarantee at
-the executor level).
+``tests/golden_values.json`` was recorded on the pure-Python engine with
+no sanitizer attached.  Four modes must reproduce it exactly:
+
+* **pure bare** — the fast paths (burst pump, quiescence) live;
+* **pure checked** — the sanitizer attached, which also forces the NICs
+  onto the legacy per-packet path: equality proves both that the
+  sanitizer is observation-only *and* that the fast paths are bit-exact;
+* **compiled bare / compiled checked** — the same two, on the C kernel
+  (``COMB_COMPILED=1`` with ``repro._simcore`` built).  The compiled
+  axis is a property of the running process, so those legs execute in
+  CI's compiled-core job and *skip visibly* when the extension is
+  absent.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import compiled
 from repro.config import gm_system, portals_system
 from repro.core import PointTask, PollingConfig, PwwConfig, SweepExecutor
 
@@ -33,18 +40,27 @@ def golden():
     return json.loads(GOLDEN_PATH.read_text())
 
 
-@pytest.fixture(scope="module")
-def checked():
-    """All four golden sweep points simulated under check=True, once."""
-    tasks = [
+def _golden_tasks():
+    return [
         PointTask("polling", gm_system(), POLL_CFG),
         PointTask("pww", gm_system(), PWW_CFG),
         PointTask("polling", portals_system(), POLL_CFG),
         PointTask("pww", portals_system(), PWW_CFG),
     ]
+
+
+@pytest.fixture(scope="module")
+def checked():
+    """All four golden sweep points simulated under check=True, once."""
     with SweepExecutor(jobs=1, check=True) as ex:
-        points = ex.run(tasks)
+        points = ex.run(_golden_tasks())
     return points, ex.violations
+
+
+@pytest.fixture(scope="module")
+def bare():
+    """The same four points on the unchecked fast paths."""
+    return SweepExecutor(jobs=1).run(_golden_tasks())
 
 
 def test_zero_violations_on_golden_points(checked):
@@ -88,6 +104,43 @@ def test_checked_equals_unchecked_directly():
         checked_pts = ex.run(tasks)
         assert ex.violations == []
     assert checked_pts == plain
+
+
+def test_bare_equals_checked_on_golden_points(checked, bare):
+    """The bare fast paths (burst pump + quiescence) reproduce the golden
+    bits the checked/legacy path produced — the whole-matrix witness."""
+    assert bare == checked[0]
+
+
+@pytest.mark.parametrize("key,index,fields", [
+    ("GM.polling.100KB.1e3", 0,
+     ("availability", "bandwidth_Bps", "msgs", "interrupts")),
+    ("GM.pww.100KB.1e5", 1,
+     ("availability", "bandwidth_Bps", "post_s", "work_s", "wait_s")),
+    ("Portals.polling.100KB.1e3", 2,
+     ("availability", "bandwidth_Bps", "msgs", "interrupts")),
+    ("Portals.pww.100KB.1e5", 3,
+     ("availability", "bandwidth_Bps", "post_s", "work_s", "wait_s")),
+])
+def test_bare_bit_identical_to_golden(bare, golden, key, index, fields):
+    want = golden[key]
+    pt = bare[index]
+    for f in fields:
+        assert getattr(pt, f) == want[f], (key, f)
+
+
+def test_compiled_core_reproduces_golden(checked, bare, golden):
+    """The compiled legs of the matrix: when this process runs on the
+    C kernel, the assertions above already executed against it — this
+    test makes that leg visible (and visibly skipped when absent)."""
+    if not compiled.active():
+        pytest.skip(f"compiled core not active ({compiled.status()}); "
+                    "pure-Python legs covered above")
+    # Running compiled: bare + checked fixtures were produced by the
+    # extension modules.  Pin one value end to end as a tripwire.
+    want = golden["GM.polling.100KB.1e3"]
+    assert bare[0].availability == want["availability"]
+    assert checked[0][0].availability == want["availability"]
 
 
 def test_pool_checked_equals_serial_checked():

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Record one point of the suite's performance trajectory.
 
+Thin CLI over :mod:`repro.core.bench` (also exposed as ``comb bench``).
 Runs the coarse benchmark grid (the same figures the per-figure
 ``benchmarks/bench_figNN`` targets regenerate, at 1 point/decade by
 default), times each figure, and appends a timestamped ``BENCH_<n>.json``
@@ -11,16 +12,20 @@ so the directory accumulates a perf trajectory across PRs::
     python tools/bench_report.py --ids fig04 fig11 --jobs 2
     python tools/bench_report.py --no-cache             # cold measurements
     python tools/bench_report.py --compare --fail-on-regression  # sentinel
+    python tools/bench_report.py --profile fig04        # embed cProfile top
 
 Each record carries total wall time, per-figure wall time, executor cache
-hit rate, and the run's configuration, e.g.::
+hit rate, the engine event count, whether the compiled core was active,
+and the run's configuration, e.g.::
 
     {
       "timestamp": "2026-08-06T12:00:00+00:00",
       "per_decade": 1, "jobs": 1,
+      "compiled": false,
       "total_s": 9.31,
       "figures": {"fig04": 1.52, ...},
       "cache": {"hits": 0, "misses": 118, "hit_rate": 0.0},
+      "events_processed": 8113540,
       "claims_ok": true
     }
 """
@@ -28,33 +33,14 @@ hit rate, and the run's configuration, e.g.::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import re
 import sys
-import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import run_figure  # noqa: E402
-from repro.analysis.figures import ALL_FIGURES  # noqa: E402
-from repro.core import PointCache, SweepExecutor  # noqa: E402
-from repro.core.executor import DEFAULT_CACHE_DIR, code_salt  # noqa: E402
-from repro.obs import MetricsRegistry  # noqa: E402
-
-DEFAULT_OUT_DIR = Path("results") / "bench"
-
-
-def next_record_path(out_dir: Path) -> Path:
-    """``BENCH_<n>.json`` with ``n`` = highest existing + 1 (1-based)."""
-    highest = 0
-    for f in out_dir.glob("BENCH_*.json"):
-        m = re.fullmatch(r"BENCH_(\d+)\.json", f.name)
-        if m:
-            highest = max(highest, int(m.group(1)))
-    return out_dir / f"BENCH_{highest + 1}.json"
+from repro.core import PointCache  # noqa: E402
+from repro.core.bench import DEFAULT_OUT_DIR, run_bench, write_record  # noqa: E402
+from repro.core.executor import DEFAULT_CACHE_DIR  # noqa: E402
 
 
 def main() -> int:
@@ -71,6 +57,9 @@ def main() -> int:
                         help="point-cache directory")
     parser.add_argument("--out-dir", default=str(DEFAULT_OUT_DIR),
                         help=f"trajectory directory (default: {DEFAULT_OUT_DIR})")
+    parser.add_argument("--profile", default=None, metavar="FIGID",
+                        help="additionally cProfile one figure and embed "
+                        "the top cumulative-time rows in the record")
     parser.add_argument("--compare", action="store_true",
                         help="after recording, judge the new record against "
                         "the trajectory's older records (regression "
@@ -80,55 +69,24 @@ def main() -> int:
                         "record regresses significantly")
     args = parser.parse_args()
 
-    ids = list(args.ids) if args.ids else sorted(ALL_FIGURES)
-    unknown = [i for i in ids if i not in ALL_FIGURES]
-    if unknown:
-        parser.error(f"unknown figure ids: {unknown}; have {sorted(ALL_FIGURES)}")
-
     cache = None if args.no_cache else PointCache(args.cache_dir)
-    registry = MetricsRegistry()
-    per_figure: dict = {}
-    claims_ok = True
-    t_total = time.time()
-    with SweepExecutor(jobs=args.jobs, cache=cache,
-                       metrics=registry) as executor:
-        for fig_id in ids:
-            t0 = time.time()
-            report = run_figure(fig_id, per_decade=args.per_decade,
-                                executor=executor)
-            per_figure[fig_id] = round(time.time() - t0, 4)
-            claims_ok = claims_ok and report.ok
-            print(f"{fig_id}: {per_figure[fig_id]:7.2f}s "
-                  f"({'ok' if report.ok else 'CLAIMS FAILED'})")
-        stats = executor.stats
-    total_s = time.time() - t_total
-
-    record = {
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "per_decade": args.per_decade,
-        "jobs": args.jobs,
-        "cache_enabled": cache is not None,
-        "code_salt": code_salt(),
-        "python": platform.python_version(),
-        "total_s": round(total_s, 4),
-        "figures": per_figure,
-        "cache": stats.to_dict(),
-        # Wall-clock stage profile from the observability layer: cache
-        # lookup latency, per-point simulation wall times, fan-out
-        # utilization (see docs/observability.md).
-        "metrics": registry.to_dict(),
-        "claims_ok": claims_ok,
-    }
-    out_dir = Path(args.out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = next_record_path(out_dir)
-    path.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\ntotal {total_s:.2f}s, cache hit rate "
-          f"{stats.hit_rate:.0%} ({stats.hits}/{stats.lookups})")
+    try:
+        record = run_bench(ids=args.ids, per_decade=args.per_decade,
+                           jobs=args.jobs, cache=cache,
+                           profile=args.profile, echo=print)
+    except ValueError as exc:
+        parser.error(str(exc))
+    path = write_record(record, args.out_dir)
+    cache_doc = record["cache"]
+    lookups = cache_doc["hits"] + cache_doc["misses"]
+    print(f"\ntotal {record['total_s']:.2f}s, cache hit rate "
+          f"{cache_doc['hit_rate']:.0%} "
+          f"({cache_doc['hits']}/{lookups})")
     print(f"wrote {path}")
     if args.compare:
         from repro.obs.compare import DEFAULT_MIN_RECORDS, compare_history
 
+        out_dir = Path(args.out_dir)
         report = compare_history(out_dir)
         if report is None:
             print(f"compare: fewer than {DEFAULT_MIN_RECORDS + 1} BENCH "
@@ -138,7 +96,7 @@ def main() -> int:
             print(report.format())
             if args.fail_on_regression and report.exit_code:
                 return report.exit_code
-    return 0 if claims_ok else 1
+    return 0 if record["claims_ok"] else 1
 
 
 if __name__ == "__main__":

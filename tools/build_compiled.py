@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Build the optional compiled simulation core (see :mod:`repro.compiled`).
+
+Compiles the hand-written C accelerator (``src/repro/_simcore.c`` —
+the ``Event`` + ``Engine`` kernel) into the extension module
+``repro._simcore``, in place next to its source, so a later
+``COMB_COMPILED=1`` run transparently loads it::
+
+    python tools/build_compiled.py            # build (or say why not)
+    python tools/build_compiled.py --check    # report toolchain + status
+    python tools/build_compiled.py --clean    # remove built extensions
+
+The build needs only a C compiler and the Python development headers —
+no pip packages.  It is **optional by design**: when the toolchain is
+missing this script prints a visible notice and exits 0, and the suite
+runs on the pure Python core exactly as before.  CI uses the same
+contract — the compiled leg degrades to a loud skip, never a failure.
+
+After building, verify bit-identity the same way CI does::
+
+    COMB_COMPILED=1 python -m pytest -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+sys.path.insert(0, str(SRC_ROOT))
+
+from repro import compiled  # noqa: E402
+
+SKIP_NOTICE = (
+    "=" * 70 + "\n"
+    "NOTICE: compiled core NOT built — no C toolchain or Python headers.\n"
+    "The suite runs on the pure Python core (bit-identical results).\n"
+    "To build: install a C compiler (cc/gcc/clang) and the CPython\n"
+    "development headers, then re-run tools/build_compiled.py.\n" + "=" * 70
+)
+
+
+def _compiler() -> str | None:
+    """The C compiler to use, or ``None`` if none is on PATH."""
+    configured = sysconfig.get_config_var("CC")
+    candidates = []
+    if configured:
+        # CC may carry flags ("gcc -pthread"); the executable is word one.
+        candidates.append(configured.split()[0])
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def _include_dir() -> Path | None:
+    """The CPython header directory, or ``None`` when headers are absent."""
+    include = Path(sysconfig.get_paths()["include"])
+    return include if (include / "Python.h").exists() else None
+
+
+def toolchain_available() -> bool:
+    """``True`` when a C compiler and the Python headers are present."""
+    return _compiler() is not None and _include_dir() is not None
+
+
+def _ext_suffix() -> str:
+    return sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+
+
+def built_extensions() -> list:
+    """Extension files a previous build left next to the sources."""
+    exts = []
+    for src in compiled.build_targets(SRC_ROOT):
+        stem = src.stem  # _simcore
+        for suffix in (".so", ".pyd"):
+            exts.extend(sorted(src.parent.glob(f"{stem}*{suffix}")))
+    return exts
+
+
+def clean() -> int:
+    """Remove built extension modules (back to the pure Python core)."""
+    removed = built_extensions()
+    for ext in removed:
+        ext.unlink()
+    print(f"removed {len(removed)} extension module(s)")
+    return 0
+
+
+def check() -> int:
+    """Report toolchain availability and the current gate state."""
+    status = compiled.status()
+    cc = _compiler()
+    inc = _include_dir()
+    print(f"toolchain: cc {cc or 'NOT found'}; "
+          f"Python.h {'found' if inc else 'NOT found'}")
+    print(f"built extensions: {len(built_extensions())}")
+    print(f"gate: requested={status['requested']} active={status['active']}")
+    print(f"  {status['detail']}")
+    return 0
+
+
+def build() -> int:
+    """Compile the accelerator in place; 0 on success or clean skip."""
+    if not toolchain_available():
+        print(SKIP_NOTICE)
+        return 0
+    cc = _compiler()
+    include = _include_dir()
+    rc = 0
+    built = []
+    for src in compiled.build_targets(SRC_ROOT):
+        if not src.exists():
+            print(f"SKIP {src}: source not found", file=sys.stderr)
+            continue
+        out = src.parent / (src.stem + _ext_suffix())
+        cmd = [
+            str(cc), "-O2", "-fPIC", "-shared", "-fno-strict-aliasing",
+            f"-I{include}", str(src), "-o", str(out),
+        ]
+        print(" ".join(cmd))
+        result = subprocess.run(cmd, cwd=str(REPO_ROOT))
+        if result.returncode != 0:
+            print(f"build FAILED for {src.name}; "
+                  "the pure Python core remains in use", file=sys.stderr)
+            # A failed compile must not leave a stale half-written .so.
+            if out.exists():
+                out.unlink()
+            rc = result.returncode
+            continue
+        built.append(out)
+    if rc == 0 and built:
+        print(f"built {len(built)} extension module(s); enable with "
+              f"{compiled.ENV_FLAG}=1")
+        # Smoke-import in a fresh process under the flag: a build that
+        # cannot even swap in should fail loudly here, not at use time.
+        env = dict(os.environ, COMB_COMPILED="1",
+                   PYTHONPATH=str(SRC_ROOT))
+        probe = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import compiled; assert compiled.active(), "
+             "compiled.status()"],
+            env=env, cwd=str(REPO_ROOT))
+        if probe.returncode != 0:
+            print("smoke import FAILED; removing the built extension",
+                  file=sys.stderr)
+            for out in built:
+                out.unlink()
+            return probe.returncode
+    return rc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--check", action="store_true",
+                       help="report toolchain and gate status; no build")
+    group.add_argument("--clean", action="store_true",
+                       help="remove built extension modules")
+    args = parser.parse_args()
+    if args.check:
+        return check()
+    if args.clean:
+        return clean()
+    return build()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
