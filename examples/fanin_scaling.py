@@ -13,7 +13,7 @@ Usage::
 
 from repro.config import gm_system, portals_system
 from repro.core import PollingConfig
-from repro.ext import run_fanin_polling
+from repro.patterns.fanin import run_fanin_polling
 
 KB = 1024
 

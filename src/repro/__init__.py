@@ -49,6 +49,7 @@ from .core import (
     run_pww,
 )
 from .mpi import ANY_SOURCE, ANY_TAG, World, build_world
+from .patterns import PatternConfig, PatternPoint, run_pattern
 
 __version__ = "1.0.0"
 
@@ -64,6 +65,8 @@ __all__ = [
     "OffloadVerdict",
     "PAPER_SIZES",
     "PRESETS",
+    "PatternConfig",
+    "PatternPoint",
     "PollingConfig",
     "PollingPoint",
     "PortalsParams",
@@ -81,6 +84,7 @@ __all__ = [
     "get_system",
     "gm_system",
     "portals_system",
+    "run_pattern",
     "run_polling",
     "run_pww",
     "tcp_system",

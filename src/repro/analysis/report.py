@@ -9,6 +9,7 @@ from ..core.executor import SweepExecutor, use_executor
 from .ascii_plot import render
 from .claims import ALL_CLAIMS, ClaimResult
 from .figures import ALL_FIGURES, FigureData
+from .scaling import SCALING_CLAIMS, SCALING_FIGURES
 
 
 @dataclass
@@ -33,16 +34,17 @@ def run_figure(fig_id: str, per_decade: int = 2,
     :class:`~repro.core.executor.SweepExecutor`); ``None`` keeps the
     serial reference path.
     """
-    try:
-        generator = ALL_FIGURES[fig_id]
-    except KeyError:
-        raise KeyError(f"unknown figure {fig_id!r}; have {sorted(ALL_FIGURES)}")
+    generator = ALL_FIGURES.get(fig_id) or SCALING_FIGURES.get(fig_id)
+    if generator is None:
+        known = sorted(ALL_FIGURES) + sorted(SCALING_FIGURES)
+        raise KeyError(f"unknown figure {fig_id!r}; have {known}")
     with use_executor(executor):
         if fig_id in ("fig12", "fig13"):
             fig = generator(**kwargs)  # linear grids take no per_decade
         else:
             fig = generator(per_decade=per_decade, **kwargs)
-    claims = ALL_CLAIMS[fig_id](fig)
+    checker = ALL_CLAIMS.get(fig_id) or SCALING_CLAIMS[fig_id]
+    claims = checker(fig)
     return FigureReport(fig, claims)
 
 

@@ -1,0 +1,180 @@
+"""Scaling figures: pattern availability vs rank count per transport.
+
+These go beyond the paper's two-node figures: they sweep the application
+communication patterns (:mod:`repro.patterns`) over rank counts on both
+fabrics and plot the availability scaling curve per transport.  The
+paper's §4 prediction extends naturally — a library-polled transport's
+Progress Rule penalty compounds with neighbour count, while an offloaded
+transport's availability should survive scale — and the claim checkers
+pin exactly that.
+
+Not part of the default ``comb report`` grid (the paper has no such
+figure); run them explicitly::
+
+    comb figures --ids scale_halo scale_allreduce
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import SystemConfig, gm_system, portals_system
+from ..core.executor import PointTask, SweepExecutor, current_executor
+from ..patterns.config import PatternConfig
+from ..patterns.results import PatternPoint
+from .claims import ClaimResult
+from .figures import Curve, FigureData
+
+KB = 1024
+
+#: Default rank-count axis: two-node (the paper's world) up to a
+#: two-edge-switch fat-tree's worth.
+DEFAULT_RANK_COUNTS = (2, 4, 8, 16)
+
+
+def pattern_tasks(
+    system: SystemConfig,
+    pattern: str,
+    rank_counts: Sequence[int],
+    topology: str = "crossbar",
+    base: Optional[PatternConfig] = None,
+) -> List[PointTask]:
+    """Task records for a rank-count sweep of one pattern."""
+    base = base or PatternConfig()
+    return [
+        PointTask(
+            "pattern",
+            system,
+            dataclasses.replace(base, pattern=pattern, ranks=int(n),
+                                topology=topology),
+        )
+        for n in rank_counts
+    ]
+
+
+def pattern_scaling(
+    system: SystemConfig,
+    pattern: str,
+    rank_counts: Sequence[int],
+    topology: str = "crossbar",
+    base: Optional[PatternConfig] = None,
+    label: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Curve:
+    """Availability-vs-ranks curve for one (system, topology) pair."""
+    ex = current_executor(executor)
+    points: List[PatternPoint] = ex.run(
+        pattern_tasks(system, pattern, rank_counts, topology, base)
+    )
+    return Curve(
+        label=label or f"{system.name} ({topology})",
+        x=[float(n) for n in rank_counts],
+        y=[pt.availability for pt in points],
+    )
+
+
+def _scaling_figure(
+    fig_id: str,
+    title: str,
+    pattern: str,
+    rank_counts: Sequence[int],
+    base: PatternConfig,
+) -> FigureData:
+    curves = [
+        pattern_scaling(system, pattern, rank_counts, topology, base)
+        for system in (gm_system(), portals_system())
+        for topology in ("crossbar", "fattree")
+    ]
+    return FigureData(
+        fig_id=fig_id,
+        title=title,
+        xlabel="ranks",
+        ylabel="CPU availability (median across ranks)",
+        curves=curves,
+        xscale="log",
+        notes=f"pattern={pattern}, {base.msg_bytes // KB} KB, "
+        f"work interval {base.work_interval_iters} iters",
+    )
+
+
+def scale_halo(per_decade: int = 1,
+               rank_counts: Sequence[int] = DEFAULT_RANK_COUNTS,
+               msg_bytes: int = 100 * KB,
+               work_interval_iters: int = 1_000_000) -> FigureData:
+    """2D halo-exchange availability vs rank count, both fabrics."""
+    del per_decade  # the rank-count axis is explicit, not log-gridded
+    base = PatternConfig(msg_bytes=msg_bytes,
+                         work_interval_iters=work_interval_iters)
+    return _scaling_figure(
+        "scale_halo", "Halo-exchange availability scaling", "halo2d",
+        rank_counts, base,
+    )
+
+
+def scale_allreduce(per_decade: int = 1,
+                    rank_counts: Sequence[int] = DEFAULT_RANK_COUNTS,
+                    msg_bytes: int = 100 * KB,
+                    work_interval_iters: int = 1_000_000) -> FigureData:
+    """Binomial-allreduce availability vs rank count, both fabrics."""
+    del per_decade
+    base = PatternConfig(msg_bytes=msg_bytes,
+                         work_interval_iters=work_interval_iters)
+    return _scaling_figure(
+        "scale_allreduce", "Allreduce availability scaling", "allreduce",
+        rank_counts, base,
+    )
+
+
+def _check_scaling(fig: FigureData) -> List[ClaimResult]:
+    """Shared shape checks for the pattern scaling figures.
+
+    * every availability is a valid fraction in (0, 1];
+    * adding neighbours costs availability: every curve ends below its
+      two-rank starting point;
+    * at the largest rank count the OS-bypass transport (GM) retains
+      more availability than the interrupt-driven one (Portals) — each
+      extra neighbour's packets interrupt the host CPU (the fig 12
+      message-handling tax), so the per-neighbour cost compounds for
+      Portals while GM only pays its (rank-independent) Progress Rule
+      wait.
+    """
+    out: List[ClaimResult] = []
+    for c in fig.curves:
+        ok = all(0.0 < y <= 1.0 for y in c.y)
+        out.append(ClaimResult(
+            fig.fig_id,
+            f"{c.label}: availability stays a valid fraction",
+            ok, f"min={min(c.y):.3f}, max={max(c.y):.3f}",
+        ))
+        out.append(ClaimResult(
+            fig.fig_id,
+            f"{c.label}: neighbours cost availability "
+            f"({int(c.x[-1])} ranks below 2 ranks)",
+            c.y[-1] < c.y[0],
+            f"2 ranks={c.y[0]:.3f}, {int(c.x[-1])} ranks={c.y[-1]:.3f}",
+        ))
+    for topology in ("crossbar", "fattree"):
+        gm = fig.curve(f"GM ({topology})")
+        portals = fig.curve(f"Portals ({topology})")
+        out.append(ClaimResult(
+            fig.fig_id,
+            f"{topology}: interrupt-driven progress pays the compounding "
+            f"per-neighbour tax (GM > Portals at {int(gm.x[-1])} ranks)",
+            gm.y[-1] > portals.y[-1],
+            f"GM={gm.y[-1]:.3f}, Portals={portals.y[-1]:.3f}",
+        ))
+    return out
+
+
+#: Pattern scaling figures — opt-in (not in ``ALL_FIGURES``'s default
+#: report grid); merged into :func:`repro.analysis.report.run_figure`.
+SCALING_FIGURES: Dict[str, Callable[..., FigureData]] = {
+    "scale_halo": scale_halo,
+    "scale_allreduce": scale_allreduce,
+}
+
+SCALING_CLAIMS: Dict[str, Callable[[FigureData], List[ClaimResult]]] = {
+    "scale_halo": _check_scaling,
+    "scale_allreduce": _check_scaling,
+}

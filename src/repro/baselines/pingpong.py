@@ -39,11 +39,17 @@ def run_pingpong(
     msg_bytes: int,
     repeats: int = 20,
     warmup_msgs: int = 3,
+    topology=None,
 ) -> PingPongResult:
-    """Measure mean half-RTT over ``repeats`` exchanges (after warmup_msgs)."""
+    """Measure mean half-RTT over ``repeats`` exchanges (after warmup_msgs).
+
+    ``topology`` selects the fabric (``None``: the paper's crossbar
+    switch) — the differential tests use an explicit two-node topology
+    to pin it bit-identical against the default wiring.
+    """
     if repeats < 1 or warmup_msgs < 0:
         raise ValueError("repeats >= 1 and warmup_msgs >= 0 required")
-    world = build_world(system)
+    world = build_world(system, topology=topology)
     engine = world.engine
     ctx0 = world.cluster[0].new_context("pingpong.initiator")
     ctx1 = world.cluster[1].new_context("pingpong.echo")

@@ -4,11 +4,17 @@ Subcommands::
 
     comb polling --system GM --size 100 --interval 10000
     comb pww     --system Portals --size 100 --interval 100000
+    comb pattern halo --ranks 8 --topology fattree
     comb offload [--system GM]
     comb netperf --system GM --mode busywait
     comb figures [--ids fig08 fig11] [--per-decade 2] [--out results/]
     comb report  [--per-decade 2]
     comb bench   [--no-cache] [--profile fig04] [--compare]
+
+``comb pattern`` runs an application communication pattern (halo2d,
+halo3d, sweep, allreduce — ``halo`` is an alias for halo2d) across
+``--ranks`` ranks on a ``--topology`` (crossbar or fattree) and prints
+per-rank plus aggregate (min/median/max) CPU availability.
 
 All sizes are in the paper's KB (KiB); intervals are work-loop iterations.
 
@@ -78,6 +84,10 @@ from .core import (
     run_pww,
 )
 from .core.executor import DEFAULT_CACHE_DIR
+from .patterns import PATTERN_KINDS
+
+#: ``comb pattern`` / ``comb trace`` accept ``halo`` for halo2d.
+_PATTERN_ALIASES = {"halo": "halo2d", **{k: k for k in PATTERN_KINDS}}
 
 
 def _positive_int(text: str) -> int:
@@ -195,6 +205,38 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="MPI_Test calls inserted early in the work phase")
     _add_check_flag(p)
 
+    p = sub.add_parser(
+        "pattern",
+        help="application communication pattern across N ranks "
+        "(halo/sweep/allreduce on a crossbar or fat-tree)",
+    )
+    p.add_argument("pattern", choices=sorted(_PATTERN_ALIASES),
+                   help="pattern kind (halo = halo2d)")
+    _add_system(p)
+    p.add_argument("--ranks", type=_positive_int, default=4,
+                   help="rank count (one rank per node; default: 4)")
+    p.add_argument("--size", type=float, default=100,
+                   help="message size per neighbor/round (KB)")
+    p.add_argument("--interval", type=int, default=100_000,
+                   help="work interval per iteration (loop iterations)")
+    p.add_argument("--iterations", type=_positive_int, default=6,
+                   help="measured iterations (default: 6)")
+    p.add_argument("--warmup", type=int, default=2,
+                   help="untimed warmup iterations (default: 2)")
+    p.add_argument("--topology", default="crossbar",
+                   choices=("crossbar", "fattree"),
+                   help="network fabric (default: crossbar)")
+    p.add_argument("--arity", type=int, default=0,
+                   help="fat-tree arity k (0: the switch's port count)")
+    p.add_argument("--ghost-width", type=int, default=1,
+                   help="halo ghost-layer width (scales the payload)")
+    p.add_argument("--algorithm", default="binomial",
+                   choices=("binomial", "rd"),
+                   help="allreduce algorithm (default: binomial tree)")
+    p.add_argument("--grid", type=int, nargs="*", default=None,
+                   help="explicit process grid (default: balanced factors)")
+    _add_check_flag(p)
+
     p = sub.add_parser("offload", help="application-offload verdict (§4.1)")
     _add_system(p)
     p.add_argument("--size", type=float, default=100, help="message size (KB)")
@@ -289,13 +331,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "attached; export Chrome trace JSON + CSV timeline + metrics",
     )
     p.add_argument("target",
-                   help="figure id (fig04..fig17), 'polling', or 'pww'")
+                   help="figure id (fig04..fig17), 'polling', 'pww', or a "
+                   "pattern kind (halo/halo2d/halo3d/sweep/allreduce)")
     _add_system(p)
     p.add_argument("--size", type=float, default=100,
                    help="message size (KB; point targets)")
     p.add_argument("--interval", type=int, default=None,
                    help="poll/work interval in loop iterations "
                    "(point targets; default: the method's default)")
+    p.add_argument("--ranks", type=_positive_int, default=4,
+                   help="rank count (pattern targets; default: 4)")
+    p.add_argument("--topology", default="crossbar",
+                   choices=("crossbar", "fattree"),
+                   help="network fabric (pattern targets)")
     p.add_argument("--per-decade", type=int, default=1,
                    help="grid resolution (figure targets; default: 1)")
     p.add_argument("--out", default="results/trace",
@@ -422,6 +470,29 @@ def _run_trace(args: argparse.Namespace) -> int:
                 ),
             ))
         label = f"comb pww {system.name}"
+    elif target in _PATTERN_ALIASES:
+        from .core.executor import PointTask, _point_marker
+        from .patterns import PatternConfig, run_pattern
+
+        system = get_system(args.system)
+        cfg = PatternConfig(
+            pattern=_PATTERN_ALIASES[target],
+            ranks=args.ranks,
+            msg_bytes=int(args.size * 1024),
+            work_interval_iters=(
+                args.interval if args.interval is not None else 100_000
+            ),
+            topology=args.topology,
+        )
+        # Bracket the stream with executor-style point markers so
+        # attribution labels the point method="pattern" and applies the
+        # warmup-window filter (see repro.obs.attribution).
+        marker = _point_marker(PointTask("pattern", system, cfg))
+        with use_observer(observer):
+            observer.tracer.record(0.0, "executor", "point_start", marker)
+            run_pattern(system, cfg)
+            observer.tracer.record(0.0, "executor", "point_end", ("pattern",))
+        label = f"comb {target} {system.name} x{cfg.ranks}"
     elif target in ALL_FIGURES:
         # Forced serial + uncached: cached points never simulate (no
         # events) and pooled points simulate in other processes (events
@@ -437,7 +508,8 @@ def _run_trace(args: argparse.Namespace) -> int:
         label = f"comb {target}"
     else:
         print(f"error: unknown trace target {target!r}; expected a figure "
-              f"id ({'/'.join(sorted(ALL_FIGURES))}), 'polling', or 'pww'",
+              f"id ({'/'.join(sorted(ALL_FIGURES))}), 'polling', 'pww', or "
+              f"a pattern ({'/'.join(sorted(_PATTERN_ALIASES))})",
               file=sys.stderr)
         return 2
 
@@ -619,6 +691,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  work  = {pt.work_s * 1e6:8.1f} us/batch "
               f"(dry {pt.work_dry_s * 1e6:.1f} us)")
         print(f"  wait  = {pt.wait_s * 1e6:8.1f} us/batch")
+        if sanitizer is not None:
+            return _report_violations(sanitizer.finalize())
+        return 0
+
+    if args.command == "pattern":
+        from .patterns import PatternConfig, run_pattern
+        from .verify.context import use_sanitizer
+
+        sanitizer = _maybe_sanitizer(args.check)
+        cfg = PatternConfig(
+            pattern=_PATTERN_ALIASES[args.pattern],
+            ranks=args.ranks,
+            msg_bytes=int(args.size * 1024),
+            work_interval_iters=args.interval,
+            iterations=args.iterations,
+            warmup_iterations=args.warmup,
+            topology=args.topology,
+            arity=args.arity,
+            ghost_width=args.ghost_width,
+            algorithm=args.algorithm,
+            grid=tuple(args.grid) if args.grid else (),
+        )
+        with use_sanitizer(sanitizer):
+            pt = run_pattern(get_system(args.system), cfg)
+        algo = f" [{pt.algorithm}]" if pt.algorithm else ""
+        print(f"{pt.system}: {pt.pattern}{algo}, {pt.ranks} ranks on "
+              f"{pt.topology}, {pt.msg_bytes // 1024} KB, work interval "
+              f"{pt.work_interval_iters} iters")
+        print(f"  availability = {pt.availability:.3f} (median) "
+              f"[min {pt.availability_min:.3f}, max {pt.availability_max:.3f}]")
+        print(f"  bandwidth    = {pt.bandwidth_MBps:.2f} MB/s aggregate")
+        print(f"  messages     = {pt.msgs}, interrupts = {pt.interrupts}")
+        print("  per-rank availability:")
+        for rank, avail in enumerate(pt.availability_per_rank):
+            print(f"    rank {rank:>3d}: {avail:.3f}")
         if sanitizer is not None:
             return _report_violations(sanitizer.finalize())
         return 0

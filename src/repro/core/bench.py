@@ -94,12 +94,16 @@ def run_bench(
     """
     from ..analysis import run_figure
     from ..analysis.figures import ALL_FIGURES
+    from ..analysis.scaling import SCALING_FIGURES
 
+    # Paper figures by default; scaling figures (availability vs ranks)
+    # are opt-in by id, same as in `comb figures --ids`.
     fig_ids = list(ids) if ids else sorted(ALL_FIGURES)
-    unknown = [i for i in fig_ids if i not in ALL_FIGURES]
+    known = sorted(ALL_FIGURES) + sorted(SCALING_FIGURES)
+    unknown = [i for i in fig_ids if i not in known]
     if unknown:
         raise ValueError(
-            f"unknown figure ids: {unknown}; have {sorted(ALL_FIGURES)}"
+            f"unknown figure ids: {unknown}; have {known}"
         )
     registry = MetricsRegistry()
     per_figure: Dict[str, float] = {}

@@ -45,13 +45,20 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..config import SystemConfig
 from ..obs.context import current_observer
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
+
+# Submodule imports only (never package-level ``..patterns``): the
+# patterns package imports core submodules, so importing its package
+# __init__ from here would cycle.
+from ..patterns.config import PatternConfig
+from ..patterns.results import PatternPoint
+from ..patterns.runner import run_pattern
 from .accounting import drain_events
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
 from .results import PollingPoint, PwwPoint
 
 #: Any method's per-point result record.
-Point = Union[PollingPoint, PwwPoint]
+Point = Union[PollingPoint, PwwPoint, PatternPoint]
 
 #: Default location of the on-disk point cache (relative to the CWD).
 DEFAULT_CACHE_DIR = ".comb_cache"
@@ -64,6 +71,7 @@ CACHE_SCHEMA_VERSION = 1
 _METHODS = {
     "polling": (PollingConfig, run_polling, PollingPoint),
     "pww": (PwwConfig, run_pww, PwwPoint),
+    "pattern": (PatternConfig, run_pattern, PatternPoint),
 }
 
 
@@ -76,7 +84,7 @@ class PointTask:
 
     kind: str
     system: SystemConfig
-    cfg: Union[PollingConfig, PwwConfig]
+    cfg: Union[PollingConfig, PwwConfig, PatternConfig]
 
     def __post_init__(self) -> None:
         if self.kind not in _METHODS:
@@ -116,6 +124,9 @@ def _point_marker(task: PointTask) -> Tuple[str, str, int, int, int]:
     if isinstance(cfg, PwwConfig):
         return (task.kind, task.system.name, cfg.msg_bytes,
                 cfg.work_interval_iters, cfg.warmup_batches)
+    if isinstance(cfg, PatternConfig):
+        return (task.kind, task.system.name, cfg.msg_bytes,
+                cfg.work_interval_iters, cfg.warmup_iterations)
     return (task.kind, task.system.name, cfg.msg_bytes,
             cfg.poll_interval_iters, 0)
 
@@ -160,7 +171,8 @@ def _jsonable(value: Any) -> Any:
 #: Simulator packages/modules whose source determines point values.  The
 #: analysis/plotting layers are deliberately excluded: they postprocess
 #: points but never influence them.
-_SALT_SOURCES = ("sim", "hardware", "transport", "os", "mpi", "core", "config.py")
+_SALT_SOURCES = ("sim", "hardware", "transport", "os", "mpi", "core",
+                 "patterns", "config.py")
 
 _code_salt: Optional[str] = None
 

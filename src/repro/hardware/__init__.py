@@ -7,12 +7,23 @@ from .memory import COPY_SETUP_S, copy_time
 from .nic import NIC, SendJob, NIC_TX_BUFFER_PKTS
 from .node import Node
 from .switch import PortFullError, Switch
+from .topology import (
+    Crossbar,
+    FatTree,
+    TOPOLOGIES,
+    Topology,
+    TopologyError,
+    TreeSwitch,
+    make_topology,
+)
 
 __all__ = [
     "CPU",
     "COPY_SETUP_S",
     "Cluster",
     "CpuContext",
+    "Crossbar",
+    "FatTree",
     "Link",
     "NIC",
     "NIC_TX_BUFFER_PKTS",
@@ -20,5 +31,10 @@ __all__ = [
     "PortFullError",
     "SendJob",
     "Switch",
+    "TOPOLOGIES",
+    "Topology",
+    "TopologyError",
+    "TreeSwitch",
     "copy_time",
+    "make_topology",
 ]

@@ -1,4 +1,4 @@
-"""Cluster builder: nodes wired through the switch."""
+"""Cluster builder: nodes wired through a network topology."""
 
 from __future__ import annotations
 
@@ -10,13 +10,16 @@ from ..sim.rng import RngRegistry
 from ..sim.trace import Tracer
 from .node import Node
 from .switch import Switch
+from .topology import Crossbar, Topology
 
 
 class Cluster:
-    """A set of :class:`Node`\\ s connected by one cut-through switch.
+    """A set of :class:`Node`\\ s connected by a :class:`Topology`.
 
     This is hardware only; transports and MPI endpoints are layered on by
-    :func:`repro.mpi.world.build_world`.
+    :func:`repro.mpi.world.build_world`.  The default topology is the
+    paper's single crossbar switch; pass ``topology=`` to build N-rank
+    worlds on other fabrics (see :mod:`repro.hardware.topology`).
     """
 
     def __init__(
@@ -25,48 +28,19 @@ class Cluster:
         system: SystemConfig,
         n_nodes: int = 2,
         tracer: Optional[Tracer] = None,
+        topology: Optional[Topology] = None,
     ):
         if n_nodes < 2:
             raise ValueError("a cluster needs at least two nodes")
-        if n_nodes > system.machine.switch.ports:
-            raise ValueError(
-                f"{n_nodes} nodes exceed the switch's "
-                f"{system.machine.switch.ports} ports"
-            )
         self.engine = engine
         self.system = system
         self.tracer = tracer
         self.rng = RngRegistry(system.seed)
-        self.switch = Switch(
-            engine, system.machine.switch, system.machine.nic, tracer=tracer
-        )
+        self.topology = topology if topology is not None else Crossbar()
+        #: The crossbar's switch (``None`` on multi-switch topologies).
+        self.switch: Optional[Switch] = None
         self.nodes: List[Node] = []
-        loss = system.machine.fault.data_loss_rate
-        for nid in range(n_nodes):
-            node = Node(engine, system, nid, tracer=tracer)
-            node.nic.uplink = self.switch.ingress
-            self.switch.attach(nid, node.nic.deliver)
-            if loss > 0.0:
-                self.switch.out_link(nid).set_loss(
-                    loss, self.rng.stream(f"loss.link{nid}")
-                )
-            self.nodes.append(node)
-        if n_nodes == 2 and tracer is None and engine.trace is None:
-            # Exclusive routes: each wire carries exactly one sender's
-            # traffic, so the NICs can run the event-lean fast pump and
-            # burst-batch multi-fragment messages (see NIC.enable_fast).
-            # Traced runs keep the legacy per-packet path so observer and
-            # sanitizer see the exact per-packet record stream.
-            from ..sim.resources import BurstDomain
-
-            domain = BurstDomain()
-            routes = {nid: self.switch.out_link(nid) for nid in range(n_nodes)}
-            for nid in range(n_nodes):
-                routes[nid].rx_nic = self.nodes[nid].nic
-                self.nodes[nid].nic.host_bus.domain = domain
-                routes[nid]._pipe.domain = domain
-            for node in self.nodes:
-                node.nic.enable_fast(self.switch, routes, domain)
+        self.topology.wire(self, n_nodes)
 
     def __len__(self) -> int:
         return len(self.nodes)

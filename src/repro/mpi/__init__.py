@@ -6,9 +6,13 @@ from .matching import Admission, PostedQueue, UnexpectedQueue, envelopes_match
 from .request import Request, RequestKind
 from .collectives import (
     allreduce,
+    allreduce_msgs,
+    allreduce_rd,
+    allreduce_rd_msgs,
     alltoall,
     barrier_all,
     bcast,
+    bcast_msgs,
     gather,
     reduce,
 )
@@ -19,9 +23,13 @@ __all__ = [
     "ANY_TAG",
     "Admission",
     "allreduce",
+    "allreduce_msgs",
+    "allreduce_rd",
+    "allreduce_rd_msgs",
     "alltoall",
     "barrier_all",
     "bcast",
+    "bcast_msgs",
     "gather",
     "reduce",
     "Endpoint",

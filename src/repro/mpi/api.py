@@ -195,9 +195,14 @@ class MpiHandle:
         return Status.from_request(rreq)
 
     def barrier(self, tag: int = -7777):
-        """Two-party barrier via a zero-byte exchange (world size 2 only)."""
+        """``MPI_Barrier``: zero-byte exchange for 2 ranks, dissemination
+        barrier (:func:`repro.mpi.collectives.barrier_all`) for larger
+        worlds."""
         if self.endpoint.world_size != 2:
-            raise NotImplementedError("barrier is implemented for 2 ranks")
+            from .collectives import barrier_all
+
+            yield from barrier_all(self)
+            return
         peer = 1 - self.rank
         rreq = yield from self.irecv(peer, 0, tag)
         sreq = yield from self.isend(peer, 0, tag)

@@ -20,6 +20,7 @@ combine cost on the CPU.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from ..sim.units import mbps
@@ -102,6 +103,83 @@ def allreduce(
     """Reduce-to-0 then broadcast (the era's MPICH default)."""
     yield from reduce(h, nbytes, root=0, tag=tag, combine_Bps=combine_Bps)
     yield from bcast(h, nbytes, root=0, tag=tag + 1)
+
+
+def allreduce_rd(
+    h: MpiHandle,
+    nbytes: int,
+    tag: int = _COLL_TAG_BASE + 8,
+    combine_Bps: float = REDUCE_COMBINE_BANDWIDTH_BPS,
+):
+    """Recursive-doubling allreduce (MPICH's later power-of-two default).
+
+    Non-power-of-two worlds use the classic pre/post fold: the first
+    ``2 * rem`` ranks pair up — evens fold their contribution into their
+    odd neighbour and sit out the exchange; after ``log2`` pairwise
+    exchange rounds over the surviving power-of-two group, each odd
+    neighbour hands the result back.  Every exchange round is a
+    full-duplex sendrecv, so the critical path is ``log2(pow2)`` wire
+    round-trips instead of the binomial tree's up-and-down traversal.
+    """
+    nranks = h.endpoint.world_size
+    pow2 = 1 << (nranks.bit_length() - 1)
+    rem = nranks - pow2
+
+    # Pre-fold: evens of the first 2*rem ranks donate and retire.
+    if h.rank < 2 * rem:
+        if h.rank % 2 == 0:
+            yield from h.send(h.rank + 1, nbytes, tag)
+            newrank = -1
+        else:
+            yield from h.recv(h.rank - 1, nbytes, tag)
+            yield h.ctx.compute(nbytes / combine_Bps)
+            newrank = h.rank // 2
+    else:
+        newrank = h.rank - rem
+
+    # Exchange rounds over the power-of-two group.
+    if newrank >= 0:
+        mask = 1
+        round_no = 1
+        while mask < pow2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem
+                else partner_new + rem
+            )
+            rr = yield from h.irecv(partner, nbytes, tag + round_no)
+            sr = yield from h.isend(partner, nbytes, tag + round_no)
+            yield from h.waitall([rr, sr])
+            yield h.ctx.compute(nbytes / combine_Bps)
+            mask <<= 1
+            round_no += 1
+
+    # Post-fold: odd partners return the finished result.
+    if h.rank < 2 * rem:
+        back = tag + pow2.bit_length()
+        if h.rank % 2 == 0:
+            yield from h.recv(h.rank + 1, nbytes, back)
+        else:
+            yield from h.send(h.rank - 1, nbytes, back)
+
+
+#: Analytic total message counts per collective invocation (every rank's
+#: sends summed) — the oracle the property battery pins runs against.
+def bcast_msgs(nranks: int) -> int:
+    """Messages a binomial-tree bcast moves: one per non-root rank."""
+    return nranks - 1
+
+
+def allreduce_msgs(nranks: int) -> int:
+    """Messages of the binomial reduce + bcast composition."""
+    return 2 * (nranks - 1)
+
+
+def allreduce_rd_msgs(nranks: int) -> int:
+    """Messages of recursive doubling: pre/post folds + exchange rounds."""
+    pow2 = 1 << (nranks.bit_length() - 1)
+    rem = nranks - pow2
+    return 2 * rem + pow2 * int(math.log2(pow2))
 
 
 def gather(h: MpiHandle, nbytes: int, root: int = 0,

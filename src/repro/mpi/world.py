@@ -66,8 +66,13 @@ def build_world(
     system: SystemConfig,
     n_nodes: int = 2,
     tracer: Optional[Tracer] = None,
+    topology=None,
 ) -> World:
     """Build a fresh deterministic world: rank *i* lives on node *i*.
+
+    ``topology`` selects the network fabric (a
+    :class:`~repro.hardware.topology.Topology`; ``None`` is the paper's
+    crossbar switch, bit-identical to the seed two-node wiring).
 
     If no explicit ``tracer`` is given, ambient attachments are resolved:
     a sanitizer (see :func:`repro.verify.use_sanitizer`) and/or an
@@ -92,7 +97,8 @@ def build_world(
 
             tracer = MultiTracer([a.tracer for a in attachments])
     engine = Engine(trace=tracer)
-    cluster = Cluster(engine, system, n_nodes=n_nodes, tracer=tracer)
+    cluster = Cluster(engine, system, n_nodes=n_nodes, tracer=tracer,
+                      topology=topology)
     devices = [
         make_device(engine, cluster[i], i, system) for i in range(n_nodes)
     ]

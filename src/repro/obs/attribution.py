@@ -255,11 +255,19 @@ def _split_points(
 
 
 def _attribute_pww_point(
-    meta: _PointMeta, events: Sequence[ObsEvent]
+    meta: _PointMeta, events: Sequence[ObsEvent], method: str = "pww"
 ) -> PointAttribution:
+    """Wait-window decomposition for one PWW-shaped point.
+
+    Patterns reuse the ``pww_phase`` schema (one event per rank per
+    measured iteration, emitted from ``rank{r}.pattern``), so a
+    multi-rank pattern point folds every rank's wait windows into one
+    decomposition — ``method`` keeps the table row honest about which
+    driver produced them.
+    """
     forest = stitch(events)
     point = PointAttribution(
-        method="pww",
+        method=method,
         system=meta.system,
         msg_bytes=meta.msg_bytes,
         interval_iters=meta.interval_iters,
@@ -330,14 +338,20 @@ def attribute_events(events: Sequence[ObsEvent]) -> List[PointAttribution]:
     for meta, point_events in _split_points(events):
         method = meta.method
         if method is None:
-            if any(ev.kind == "pww_phase" for ev in point_events):
-                method = "pww"
+            phases = [ev for ev in point_events if ev.kind == "pww_phase"]
+            if phases:
+                method = ("pattern" if any(
+                    ev.source.endswith(".pattern") for ev in phases
+                ) else "pww")
             elif any(ev.kind == "poll_window" for ev in point_events):
                 method = "polling"
             else:
                 continue
         if method == "pww":
             out.append(_attribute_pww_point(meta, point_events))
+        elif method == "pattern":
+            out.append(_attribute_pww_point(meta, point_events,
+                                            method="pattern"))
         elif method == "polling":
             out.append(_attribute_polling_point(meta, point_events))
     return out

@@ -1,0 +1,167 @@
+"""Pattern configuration and process-grid geometry helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+#: Message tag used by the pattern workloads (polling uses 11, PWW 12).
+PATTERN_TAG = 13
+
+#: Known pattern kinds (the ``PatternConfig.pattern`` vocabulary).
+PATTERN_KINDS = ("halo2d", "halo3d", "sweep", "allreduce")
+
+#: Known allreduce algorithms.
+ALLREDUCE_ALGORITHMS = ("binomial", "rd")
+
+
+@dataclass
+class PatternConfig:
+    """Parameters of one pattern measurement.
+
+    The measurement protocol mirrors the paper's PWW method, generalized
+    to N ranks: every rank runs ``warmup_iterations`` untimed iterations,
+    synchronizes on a dissemination barrier, then runs ``iterations``
+    measured iterations of post → work → wait (the pattern defines what
+    is posted and awaited).  Availability per rank is the dry work time
+    divided by the rank's measured wall time.
+    """
+
+    #: Which pattern: ``halo2d`` / ``halo3d`` / ``sweep`` / ``allreduce``.
+    pattern: str = "halo2d"
+    #: World size (one rank per node).
+    ranks: int = 4
+    #: Per-neighbour ghost payload (halo/sweep) or reduction buffer size.
+    msg_bytes: int = 100 * 1024
+    #: Work-loop iterations in the work phase (the paper's variable).
+    work_interval_iters: int = 100_000
+    #: Measured iterations (after warmup).
+    iterations: int = 6
+    #: Iterations discarded as warmup.
+    warmup_iterations: int = 2
+    #: Network fabric: ``crossbar`` or ``fattree``.
+    topology: str = "crossbar"
+    #: Fat-tree switch radix (0 = the system's switch port count).
+    arity: int = 0
+    #: Halo ghost-layer width: scales the per-neighbour payload.
+    ghost_width: int = 1
+    #: Allreduce algorithm: ``binomial`` or ``rd`` (recursive doubling).
+    algorithm: str = "binomial"
+    #: Explicit process grid (halo/sweep); empty = balanced factorization
+    #: of ``ranks``.  The product must equal ``ranks``.
+    grid: Tuple[int, ...] = field(default_factory=tuple)
+
+
+def validate_config(cfg: PatternConfig) -> None:
+    """Raise ``ValueError`` on an unrunnable configuration."""
+    if cfg.pattern not in PATTERN_KINDS:
+        raise ValueError(
+            f"unknown pattern {cfg.pattern!r}; have {sorted(PATTERN_KINDS)}"
+        )
+    if cfg.ranks < 2:
+        raise ValueError("a pattern needs at least two ranks")
+    if cfg.msg_bytes < 1:
+        raise ValueError("msg_bytes must be >= 1")
+    if cfg.work_interval_iters < 0:
+        raise ValueError("work interval must be non-negative")
+    if cfg.iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if cfg.warmup_iterations < 0:
+        raise ValueError("warmup_iterations must be non-negative")
+    if cfg.ghost_width < 1:
+        raise ValueError("ghost_width must be >= 1")
+    if cfg.algorithm not in ALLREDUCE_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {cfg.algorithm!r}; "
+            f"have {sorted(ALLREDUCE_ALGORITHMS)}"
+        )
+    if cfg.grid:
+        prod = 1
+        for d in cfg.grid:
+            if d < 1:
+                raise ValueError(f"grid dimensions must be >= 1: {cfg.grid}")
+            prod *= d
+        if prod != cfg.ranks:
+            raise ValueError(
+                f"grid {tuple(cfg.grid)} holds {prod} ranks, not {cfg.ranks}"
+            )
+
+
+def _prime_factors(n: int) -> List[int]:
+    """Prime factorization, largest factors first."""
+    out: List[int] = []
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            out.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def balanced_grid(ranks: int, dims: int) -> Tuple[int, ...]:
+    """A near-cubic ``dims``-dimensional process grid for ``ranks``.
+
+    Deterministic ``MPI_Dims_create``-style factorization: prime factors
+    (largest first) multiply onto the currently-smallest dimension, and
+    the result is sorted descending.  ``balanced_grid(12, 2) == (4, 3)``.
+    """
+    if ranks < 1 or dims < 1:
+        raise ValueError("ranks and dims must be >= 1")
+    shape = [1] * dims
+    for f in _prime_factors(ranks):
+        shape[shape.index(min(shape))] *= f
+    return tuple(sorted(shape, reverse=True))
+
+
+def grid_coords(rank: int, shape: Sequence[int]) -> Tuple[int, ...]:
+    """Row-major coordinates of ``rank`` in ``shape``."""
+    coords = []
+    for d in reversed(shape):
+        coords.append(rank % d)
+        rank //= d
+    return tuple(reversed(coords))
+
+
+def grid_rank(coords: Sequence[int], shape: Sequence[int]) -> int:
+    """Row-major rank of ``coords`` in ``shape``."""
+    rank = 0
+    for c, d in zip(coords, shape):
+        rank = rank * d + c
+    return rank
+
+
+def grid_neighbors(rank: int, shape: Sequence[int]) -> List[int]:
+    """Stencil neighbours of ``rank``: ±1 along every axis, non-periodic.
+
+    Sorted ascending, so posting order is deterministic across ranks.
+    """
+    coords = grid_coords(rank, shape)
+    out: List[int] = []
+    for ax, d in enumerate(shape):
+        for step in (-1, 1):
+            c = coords[ax] + step
+            if 0 <= c < d:
+                nb = list(coords)
+                nb[ax] = c
+                out.append(grid_rank(nb, shape))
+    return sorted(out)
+
+
+def halo_pairs(shape: Sequence[int]) -> int:
+    """Neighbour pairs of a non-periodic stencil grid.
+
+    Along axis ``ax`` there are ``(shape[ax] - 1) * prod(other axes)``
+    adjacent pairs; a halo iteration moves exactly two messages per pair
+    (one each way), which the property battery pins against device
+    counters.
+    """
+    total = 1
+    for d in shape:
+        total *= d
+    pairs = 0
+    for ax, d in enumerate(shape):
+        pairs += (d - 1) * (total // d)
+    return pairs

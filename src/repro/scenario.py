@@ -21,8 +21,10 @@ Run with ``comb scenario spec.json`` or :func:`run_scenario`.
 
 Supported experiment kinds: ``polling`` (sweep over ``intervals``),
 ``pww`` (same), ``offload``, ``netperf`` (``mode``), ``pingpong``
-(``sizes_kb``).  Extra per-point options go under ``config`` and feed the
-corresponding Config dataclass.
+(``sizes_kb``), and ``pattern`` (application communication patterns —
+``pattern`` names halo2d/halo3d/sweep/allreduce, sweeping ``ranks`` over
+``rank_counts`` on a named ``topology``).  Extra per-point options go
+under ``config`` and feed the corresponding Config dataclass.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from .baselines import run_netperf, run_pingpong
 from .config import PRESETS, SystemConfig, get_system
 from .core import CombSuite, PollingConfig, PwwConfig, run_polling, run_pww
+from .patterns import PatternConfig, run_pattern
 
 KB = 1024
 
@@ -143,6 +146,18 @@ def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
                 "bandwidth_Bps": r.bandwidth_Bps,
             })
         return {"kind": kind, "points": results}
+    if kind == "pattern":
+        points = []
+        for ranks in spec.get("rank_counts", [4]):
+            cfg = PatternConfig(
+                pattern=spec.get("pattern", "halo2d"),
+                ranks=int(ranks),
+                msg_bytes=msg_bytes,
+                topology=spec.get("topology", "crossbar"),
+                **cfg_extra,
+            )
+            points.append(run_pattern(system, cfg).to_dict())
+        return {"kind": kind, "points": points}
     raise ScenarioError(f"unknown experiment kind {kind!r}")
 
 
@@ -200,5 +215,15 @@ def format_scenario_results(results: Dict) -> str:
                         f"  pingpong {p['msg_bytes'] // KB:>6d} KB: "
                         f"lat={p['latency_s'] * 1e6:8.1f} us "
                         f"bw={p['bandwidth_Bps'] / 1e6:7.2f} MB/s"
+                    )
+            elif kind == "pattern":
+                for p in exp["points"]:
+                    lines.append(
+                        f"  {p['pattern']:8s} ranks={p['ranks']:>3d} "
+                        f"({p['topology']}): "
+                        f"avail={p['availability']:.3f} "
+                        f"[{p['availability_min']:.3f}"
+                        f"..{p['availability_max']:.3f}] "
+                        f"bw={p['bandwidth_MBps']:7.2f} MB/s"
                     )
     return "\n".join(lines)

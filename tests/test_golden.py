@@ -23,6 +23,7 @@ from repro.baselines import run_pingpong
 from repro.config import gm_system, portals_system
 from repro.core import PollingConfig, PwwConfig, run_polling, run_pww
 from repro.obs import Observer, use_observer
+from repro.patterns import PatternConfig, run_pattern
 
 KB = 1024
 GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
@@ -56,6 +57,19 @@ def compute_current() -> dict:
         }
         pp = run_pingpong(factory(), 100 * KB, repeats=5, warmup_msgs=1)
         out[f"{name}.pingpong.100KB"] = {"latency_s": pp.latency_s}
+    # The canonical multi-rank pattern points (4-rank crossbar worlds).
+    for name, factory, pattern in (("GM", gm_system, "halo2d"),
+                                   ("Portals", portals_system, "allreduce")):
+        pt = run_pattern(factory(), PatternConfig(
+            pattern=pattern, ranks=4, msg_bytes=100 * KB,
+            work_interval_iters=100_000, iterations=4, warmup_iterations=1,
+        ))
+        out[f"{name}.pattern.{pattern}.4r"] = {
+            "availability": pt.availability,
+            "bandwidth_Bps": pt.bandwidth_Bps,
+            "msgs": pt.msgs,
+            "interrupts": pt.interrupts,
+        }
     return out
 
 
@@ -80,6 +94,8 @@ def test_golden_keys_match(current, golden):
     "Portals.polling.100KB.1e3",
     "Portals.pww.100KB.1e5",
     "Portals.pingpong.100KB",
+    "GM.pattern.halo2d.4r",
+    "Portals.pattern.allreduce.4r",
 ])
 def test_golden_values_exact(current, golden, key):
     for field, expected in golden[key].items():
@@ -114,6 +130,8 @@ def test_observed_keys_match(observed, golden):
     "Portals.polling.100KB.1e3",
     "Portals.pww.100KB.1e5",
     "Portals.pingpong.100KB",
+    "GM.pattern.halo2d.4r",
+    "Portals.pattern.allreduce.4r",
 ])
 def test_observed_values_bit_identical(observed, golden, key):
     """Tracing + metrics attached must change *nothing* it observes:

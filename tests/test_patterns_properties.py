@@ -1,0 +1,153 @@
+"""Hypothesis property battery for the pattern layer.
+
+Pure-geometry properties run at full example counts; the sim-backed
+properties (which execute a real N-rank world per example) cap their
+example budget explicitly so the battery stays fast under the ``ci``
+profile too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import gm_system, portals_system
+from repro.mpi.collectives import allreduce_msgs, allreduce_rd_msgs
+from repro.patterns import (
+    PatternConfig,
+    balanced_grid,
+    grid_neighbors,
+    halo_pairs,
+    run_pattern,
+)
+from repro.patterns.allreduce import expected_allreduce_msgs
+from repro.patterns.config import grid_coords, grid_rank
+
+KB = 1024
+
+#: Example budget for properties that simulate a whole world per example.
+SIM = settings(max_examples=10, deadline=None,
+               suppress_health_check=[HealthCheck.too_slow])
+
+#: Small grids: every axis 1..3, at least 2 and at most 6 ranks total.
+small_shapes = st.lists(st.integers(1, 3), min_size=1, max_size=3).map(
+    tuple
+).filter(lambda s: 2 <= math.prod(s) <= 6)
+
+#: Larger abstract grids for the pure-geometry properties.
+shapes = st.lists(st.integers(1, 4), min_size=1, max_size=4).map(tuple)
+
+
+def _sim_cfg(**kw):
+    """A deliberately tiny measurement: 1 warmup + 2 measured iterations."""
+    return PatternConfig(msg_bytes=4 * KB, work_interval_iters=5_000,
+                         iterations=2, warmup_iterations=1, **kw)
+
+
+class TestGeometry:
+    @given(ranks=st.integers(1, 256), dims=st.integers(1, 4))
+    def test_balanced_grid_partitions_ranks(self, ranks, dims):
+        shape = balanced_grid(ranks, dims)
+        assert len(shape) == dims
+        assert math.prod(shape) == ranks
+        assert list(shape) == sorted(shape, reverse=True)
+
+    @given(shape=shapes, data=st.data())
+    def test_coords_rank_roundtrip(self, shape, data):
+        rank = data.draw(st.integers(0, math.prod(shape) - 1))
+        assert grid_rank(grid_coords(rank, shape), shape) == rank
+
+    @given(shape=shapes)
+    def test_neighbor_relation_is_symmetric(self, shape):
+        nbrs = {r: grid_neighbors(r, shape)
+                for r in range(math.prod(shape))}
+        for r, peers in nbrs.items():
+            assert peers == sorted(peers)
+            assert r not in peers
+            for p in peers:
+                assert r in nbrs[p]
+
+    @given(shape=shapes)
+    def test_handshake_lemma_pins_halo_pairs(self, shape):
+        # Every neighbour pair contributes two directed edges, so the
+        # degree sum over all ranks is exactly twice halo_pairs(shape).
+        degree_sum = sum(
+            len(grid_neighbors(r, shape)) for r in range(math.prod(shape))
+        )
+        assert degree_sum == 2 * halo_pairs(shape)
+
+    @given(n=st.integers(2, 1024))
+    def test_allreduce_analytic_counts(self, n):
+        assert expected_allreduce_msgs("binomial", n) == allreduce_msgs(n)
+        assert expected_allreduce_msgs("rd", n) == allreduce_rd_msgs(n)
+        assert allreduce_msgs(n) == 2 * (n - 1)
+        pow2 = 1 << (n.bit_length() - 1)
+        rem = n - pow2
+        assert allreduce_rd_msgs(n) == \
+            2 * rem + pow2 * int(math.log2(pow2))
+        if rem == 0:
+            # Power of two: pure recursive doubling, n log2 n messages.
+            assert allreduce_rd_msgs(n) == n * int(math.log2(n))
+
+
+class TestSimulatedCounts:
+    @SIM
+    @given(shape=small_shapes)
+    def test_halo_sends_one_message_per_pair_per_iteration(self, shape):
+        cfg = _sim_cfg(pattern="halo2d", ranks=math.prod(shape),
+                       grid=shape)
+        pt = run_pattern(gm_system(), cfg)
+        assert pt.msgs == cfg.iterations * 2 * halo_pairs(shape)
+        assert all(0.0 < a <= 1.0 for a in pt.availability_per_rank)
+
+    @SIM
+    @given(ranks=st.integers(2, 7),
+           algorithm=st.sampled_from(["binomial", "rd"]),
+           portals=st.booleans())
+    def test_allreduce_matches_analytic_count(self, ranks, algorithm,
+                                              portals):
+        system = portals_system() if portals else gm_system()
+        cfg = _sim_cfg(pattern="allreduce", ranks=ranks,
+                       algorithm=algorithm)
+        pt = run_pattern(system, cfg)
+        assert pt.msgs == \
+            cfg.iterations * expected_allreduce_msgs(algorithm, ranks)
+        assert all(0.0 < a <= 1.0 for a in pt.availability_per_rank)
+
+    @SIM
+    @given(shape=small_shapes)
+    def test_sweep_availability_is_valid_fraction(self, shape):
+        cfg = _sim_cfg(pattern="sweep", ranks=math.prod(shape),
+                       grid=shape)
+        pt = run_pattern(gm_system(), cfg)
+        assert all(0.0 < a <= 1.0 for a in pt.availability_per_rank)
+        assert pt.availability_min <= pt.availability
+        assert pt.availability <= pt.availability_max
+
+
+class TestAttributionConservation:
+    @SIM
+    @given(ranks=st.integers(2, 5),
+           pattern=st.sampled_from(["halo2d", "allreduce"]))
+    def test_causes_sum_to_attributed_total(self, ranks, pattern):
+        from repro.obs import Observer, attribute_events, use_observer
+
+        cfg = _sim_cfg(pattern=pattern, ranks=ranks)
+        observer = Observer()
+        with use_observer(observer):
+            run_pattern(gm_system(), cfg)
+        points = [
+            pt for pt in attribute_events(observer.tracer.events())
+            if pt.method == "pattern"
+        ]
+        assert len(points) == 1
+        pt = points[0]
+        # One measured window per rank per iteration, none dropped.
+        assert pt.windows == ranks * cfg.iterations
+        assert pt.total_s >= 0.0
+        assert sum(pt.causes.values()) == pytest.approx(pt.total_s,
+                                                        rel=1e-9, abs=1e-15)
+        assert all(v >= 0.0 for v in pt.causes.values())

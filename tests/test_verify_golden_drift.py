@@ -24,6 +24,7 @@ import pytest
 from repro import compiled
 from repro.config import gm_system, portals_system
 from repro.core import PointTask, PollingConfig, PwwConfig, SweepExecutor
+from repro.patterns import PatternConfig
 
 KB = 1024
 GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
@@ -33,6 +34,16 @@ POLL_CFG = PollingConfig(msg_bytes=100 * KB, poll_interval_iters=1_000,
                          measure_s=0.02, warmup_s=0.004)
 PWW_CFG = PwwConfig(msg_bytes=100 * KB, work_interval_iters=100_000,
                     batches=6, warmup_batches=2)
+
+#: The canonical multi-rank pattern points, as recorded (4-rank worlds
+#: on the default crossbar; one halo, one allreduce).
+HALO_CFG = PatternConfig(pattern="halo2d", ranks=4, msg_bytes=100 * KB,
+                         work_interval_iters=100_000, iterations=4,
+                         warmup_iterations=1)
+ALLREDUCE_CFG = PatternConfig(pattern="allreduce", ranks=4,
+                              msg_bytes=100 * KB,
+                              work_interval_iters=100_000, iterations=4,
+                              warmup_iterations=1)
 
 
 @pytest.fixture(scope="module")
@@ -141,6 +152,77 @@ def test_compiled_core_reproduces_golden(checked, bare, golden):
     want = golden["GM.polling.100KB.1e3"]
     assert bare[0].availability == want["availability"]
     assert checked[0][0].availability == want["availability"]
+
+
+# --------------------------------------------------------------- patterns
+# The N-rank pattern points get their own task list so the original
+# four-point matrix above keeps its recorded indices.
+
+def _pattern_tasks():
+    return [
+        PointTask("pattern", gm_system(), HALO_CFG),
+        PointTask("pattern", portals_system(), ALLREDUCE_CFG),
+    ]
+
+
+@pytest.fixture(scope="module")
+def pattern_checked():
+    """Both golden pattern points simulated under check=True, once."""
+    with SweepExecutor(jobs=1, check=True) as ex:
+        points = ex.run(_pattern_tasks())
+    return points, ex.violations
+
+
+@pytest.fixture(scope="module")
+def pattern_bare():
+    """The same two points on the unchecked fast paths."""
+    return SweepExecutor(jobs=1).run(_pattern_tasks())
+
+
+def test_zero_violations_on_pattern_points(pattern_checked):
+    _points, violations = pattern_checked
+    assert violations == [], violations
+
+
+def test_pattern_bare_equals_checked(pattern_checked, pattern_bare):
+    assert pattern_bare == pattern_checked[0]
+
+
+@pytest.mark.parametrize("index,key", [
+    (0, "GM.pattern.halo2d.4r"),
+    (1, "Portals.pattern.allreduce.4r"),
+])
+def test_pattern_bit_identical_to_golden(pattern_bare, golden, index, key):
+    pt = pattern_bare[index]
+    want = golden[key]
+    assert pt.availability == want["availability"]
+    assert pt.bandwidth_Bps == want["bandwidth_Bps"]
+    assert pt.msgs == want["msgs"]
+    assert pt.interrupts == want["interrupts"]
+
+
+def test_pattern_traced_equals_bare(pattern_bare):
+    """An ambient Observer (which attaches a tracer to every world and
+    disarms the two-node burst fast path) must not move a bit on N-rank
+    worlds either."""
+    from repro.obs import Observer, use_observer
+    from repro.patterns import run_pattern
+
+    with use_observer(Observer()):
+        traced = [
+            run_pattern(gm_system(), HALO_CFG),
+            run_pattern(portals_system(), ALLREDUCE_CFG),
+        ]
+    assert traced == pattern_bare
+
+
+def test_compiled_core_reproduces_pattern_golden(pattern_bare, golden):
+    """Compiled-leg tripwire for the pattern points (CI's compiled job)."""
+    if not compiled.active():
+        pytest.skip(f"compiled core not active ({compiled.status()}); "
+                    "pure-Python legs covered above")
+    want = golden["GM.pattern.halo2d.4r"]
+    assert pattern_bare[0].availability == want["availability"]
 
 
 def test_pool_checked_equals_serial_checked():
