@@ -364,8 +364,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files/directories to lint (default: src)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="output format")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (sarif: SARIF "
+                   "2.1.0 for GitHub code scanning)")
     p.add_argument("--baseline", default="tools/lint_baseline.json",
                    help="grandfathered-violation baseline file")
     p.add_argument("--no-baseline", action="store_true",
@@ -375,6 +376,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    "current violation (DET/CACHE rules excluded)")
     p.add_argument("--select", nargs="*", default=None, metavar="RULE",
                    help="restrict to these rule ids")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan file-rule evaluation out over N spawn-pool "
+                   "workers (results identical to --jobs 1)")
+    p.add_argument("--exclude", nargs="*", default=None, metavar="DIR",
+                   help="directory names to skip during discovery "
+                   "(e.g. lint_fixtures when linting tests/)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     return parser
@@ -397,6 +404,7 @@ def _run_lint(args: argparse.Namespace) -> int:
         NEVER_BASELINE_PREFIXES,
         format_json,
         format_rule_list,
+        format_sarif,
         format_text,
         lint_paths,
     )
@@ -419,7 +427,9 @@ def _run_lint(args: argparse.Namespace) -> int:
             )
             return 2
     select = set(args.select) if args.select else None
-    report = lint_paths(args.paths, baseline=baseline, select=select)
+    exclude = set(args.exclude) if args.exclude else None
+    report = lint_paths(args.paths, baseline=baseline, select=select,
+                        jobs=max(args.jobs, 1), exclude=exclude)
     if args.write_baseline:
         keep = [
             v for v in report.all_found()
@@ -431,8 +441,12 @@ def _run_lint(args: argparse.Namespace) -> int:
               + (f" ({dropped} DET/CACHE violation(s) NOT grandfathered — "
                  "fix them)" if dropped else ""))
         return 1 if dropped else 0
-    print(format_json(report) if args.format == "json"
-          else format_text(report))
+    if args.format == "json":
+        print(format_json(report))
+    elif args.format == "sarif":
+        print(format_sarif(report))
+    else:
+        print(format_text(report))
     return report.exit_code
 
 

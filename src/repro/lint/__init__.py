@@ -12,17 +12,28 @@ Entry points::
     comb lint src [--format=json] [--baseline tools/lint_baseline.json]
     python tools/lint.py ...
 
+The UNIT003/UNIT004, DET005 rules run on a per-function CFG + fixpoint
+dataflow engine (:mod:`repro.lint.flow`) that propagates facts through
+assignments and arithmetic, so violations hiding behind unsuffixed
+temporaries are caught, not just misnamed bindings.
+
 Rules (see ``docs/lint_rules.md`` for the full catalog):
 
 ========  ==========================================================
 DET001    no wall-clock reads in simulation code
 DET002    no global/unseeded RNG in simulation code
-DET003    no iteration over bare sets in simulation code
+DET003    no iteration over bare sets in order-sensitive code
 DET004    no hash()/id() values in simulation logic
+DET005    no unordered values flowing into keys/digests/schedules
 UNIT001   quantity-named bindings must carry unit suffixes
 UNIT002   no additive arithmetic across unit suffixes
+UNIT003   no mixed inferred dimensions in adds/compares (dataflow)
+UNIT004   no dimension laundering through relabeling assignments
 CACHE001  config dataclass fields must be cache-key visible + stable
+EXEC001   no module-state mutation reachable from pool workers
 SIM001    no blocking I/O in engine hot paths
+SIM002    burst-replay loops must use round-trip time arithmetic
+OBS001    tracer emitters must match the declared event schemas
 ========  ==========================================================
 
 Inline waiver: ``# comb-lint: disable=RULE[,RULE...]`` on the offending
@@ -36,6 +47,7 @@ from .model import LintViolation, SIM_PACKAGES
 from .output import format_json, format_rule_list, format_text
 from .rules import all_rule_classes, rule_catalog
 from .runner import LintReport, iter_python_files, lint_paths
+from .sarif import format_sarif, sarif_log
 
 __all__ = [
     "Baseline",
@@ -51,4 +63,6 @@ __all__ = [
     "format_text",
     "format_json",
     "format_rule_list",
+    "format_sarif",
+    "sarif_log",
 ]

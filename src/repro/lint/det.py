@@ -1,4 +1,4 @@
-"""Determinism rules DET001–DET004.
+"""Determinism rules DET001–DET005.
 
 COMB's headline artifact is a set of bit-reproducible overlap curves; a
 single wall-clock read or unseeded random draw inside the simulation
@@ -11,8 +11,9 @@ review time, inside the simulation packages (``sim``, ``mpi``,
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
+from .flow import Analysis, Env, Report, function_defs, run_analysis
 from .model import FileContext, LintViolation
 from .rules import FileRule, register
 
@@ -136,7 +137,7 @@ class SetIterationRule(FileRule):
     _CONSUMERS: Set[str] = {"list", "tuple", "enumerate"}
 
     def check(self, ctx: FileContext) -> Iterator[LintViolation]:
-        if not ctx.sim_scope:
+        if not ctx.order_scope:
             return
         set_names = self._set_typed_names(ctx)
         for node in ast.walk(ctx.tree):
@@ -208,7 +209,7 @@ class HashSeedRule(FileRule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[LintViolation]:
-        if not ctx.sim_scope:
+        if not ctx.order_scope:
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -227,10 +228,223 @@ class HashSeedRule(FileRule):
             )
 
 
+#: Set-producing / set-preserving / order-restoring call tails.
+_SET_MAKERS: Set[str] = {"set", "frozenset"}
+_SET_METHODS: Set[str] = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+_ORDER_PRESERVERS: Set[str] = {"list", "tuple", "iter", "reversed"}
+_DICT_VIEW_METHODS: Set[str] = {"keys", "values", "items"}
+
+#: Call tails that consume their arguments into an order-sensitive
+#: artifact: cache keys, golden/trace output, digests.
+_ORDER_SINK_TAILS: Set[str] = {
+    "dumps", "dump", "task_key", "join", "heappush",
+}
+_ORDER_SINK_PREFIXES: Tuple[str, ...] = ("hashlib.",)
+
+_UNORDERED = frozenset({"unordered"})
+
+
+class _OrderAnalysis(Analysis):
+    """Propagates an ``unordered`` tag through assignments and set algebra."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.sinks: List[Tuple[ast.AST, str]] = []
+
+    def seed(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> Env:
+        env: Env = {}
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ann = arg.annotation
+            if ann is None:
+                continue
+            target = ann.value if isinstance(ann, ast.Subscript) else ann
+            name = (self.ctx.dotted_name(target) or "").rpartition(".")[2]
+            if name in {"Set", "FrozenSet", "set", "frozenset"}:
+                env[arg.arg] = _UNORDERED
+        return env
+
+    def transfer(
+        self, item: ast.AST, env: Env, report: Optional[Report]
+    ) -> None:
+        if isinstance(item, ast.Assign):
+            tag = self._eval(item.value, env, report)
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    if tag:
+                        env[target.id] = _UNORDERED
+                    else:
+                        env.pop(target.id, None)
+        elif isinstance(item, ast.AnnAssign):
+            if item.value is not None and isinstance(item.target, ast.Name):
+                if self._eval(item.value, env, report):
+                    env[item.target.id] = _UNORDERED
+                else:
+                    env.pop(item.target.id, None)
+        elif isinstance(item, (ast.For, ast.AsyncFor)):
+            self._eval(item.iter, env, report)
+            for node in ast.walk(item.target):
+                if isinstance(node, ast.Name):
+                    env.pop(node.id, None)
+        elif isinstance(item, ast.stmt):
+            for expr in ast.iter_child_nodes(item):
+                if isinstance(expr, ast.expr):
+                    self._eval(expr, env, report)
+        elif isinstance(item, ast.expr):
+            self._eval(item, env, report)
+
+    def _is_unordered(self, node: ast.expr, env: Env) -> bool:
+        """Syntactic check without recursing into sub-calls."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id) == _UNORDERED
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _DICT_VIEW_METHODS:
+                # A dict view is insertion-ordered, but participating in
+                # set algebra produces a real set (handled by BinOp).
+                return False
+        return False
+
+    def _eval(
+        self, node: ast.expr, env: Env, report: Optional[Report]
+    ) -> bool:
+        """True when ``node`` evaluates to an unordered collection."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id) == _UNORDERED
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, report)
+            return True
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, report)
+            right = self._eval(node.right, env, report)
+            if isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+            ):
+                # Set algebra: unordered if either side is a set or a
+                # dict view (view - view yields a set).
+                def setish(n: ast.expr, tag: bool) -> bool:
+                    if tag:
+                        return True
+                    return isinstance(n, ast.Call) and isinstance(
+                        n.func, ast.Attribute
+                    ) and n.func.attr in _DICT_VIEW_METHODS
+                return setish(node.left, left) or setish(node.right, right)
+            return False
+        if isinstance(node, ast.Call):
+            arg_tags = [self._eval(a, env, report) for a in node.args]
+            for kw in node.keywords:
+                self._eval(kw.value, env, report)
+            dotted = self.ctx.dotted_name(node.func) or ""
+            tail = dotted.rpartition(".")[2]
+            if not tail and isinstance(node.func, ast.Attribute):
+                # e.g. ",".join(...) — receiver is a literal, so there is
+                # no dotted name, but the method tail still identifies a
+                # sink.
+                tail = node.func.attr
+            if tail == "sorted":
+                return False  # launders: output order is defined
+            self._check_sink(node, dotted, tail, arg_tags, report)
+            if tail in _SET_MAKERS:
+                return True
+            if tail in _ORDER_PRESERVERS:
+                # list(s) materializes the arbitrary order; still tainted.
+                return bool(arg_tags and arg_tags[0])
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._eval(node.func.value, env, None)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, report)
+            a = self._eval(node.body, env, report)
+            b = self._eval(node.orelse, env, report)
+            return a or b
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env, report)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, report)
+        return False
+
+    def _check_sink(
+        self,
+        call: ast.Call,
+        dotted: str,
+        tail: str,
+        arg_tags: List[bool],
+        report: Optional[Report],
+    ) -> None:
+        if report is None:
+            return
+        is_sink = tail in _ORDER_SINK_TAILS or dotted.startswith(
+            _ORDER_SINK_PREFIXES
+        )
+        if not is_sink:
+            return
+        for arg, tagged in zip(call.args, arg_tags):
+            if tagged:
+                report(
+                    call,
+                    f"a value of hash-seed-dependent iteration order "
+                    f"flows into {tail}(); order it first (sorted(...)) "
+                    "so cache keys / golden output / scheduling stay "
+                    "deterministic",
+                )
+
+
+@register
+class UnorderedFlowRule(FileRule):
+    """DET005: unordered collections flowing into order-sensitive sinks.
+
+    DET003 catches ``for x in some_set``; this rule catches the flows
+    DET003 cannot see — a set (or set-algebra result, or ``Set``-typed
+    parameter) passed through temporaries into ``json.dumps``,
+    ``hashlib.*``, ``task_key``, ``str.join``, or ``heapq.heappush``,
+    where the arbitrary order is frozen into a cache key, golden file,
+    digest, or event schedule.  ``sorted(...)`` launders the taint.
+    """
+
+    rule_id = "DET005"
+    summary = (
+        "unordered set/dict-view value flows into a cache key, digest, "
+        "join, or scheduling sink; order it with sorted() first"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        if not ctx.order_scope:
+            return
+        violations: List[LintViolation] = []
+
+        def sink(anchor: ast.AST, message: str) -> None:
+            violations.append(
+                ctx.make_violation(self.rule_id, anchor, message)
+            )
+
+        analysis = _OrderAnalysis(ctx)
+        for fn in function_defs(ctx.tree):
+            run_analysis(fn, analysis, sink)
+        seen: Set[Tuple[int, int, str]] = set()
+        for v in violations:
+            key = (v.line, v.col, v.message)
+            if key not in seen:
+                seen.add(key)
+                yield v
+
+
 # Re-exported for the rule catalog tests.
 __all__ = [
     "WallClockRule",
     "GlobalRngRule",
     "SetIterationRule",
     "HashSeedRule",
+    "UnorderedFlowRule",
 ]

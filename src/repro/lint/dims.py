@@ -1,0 +1,441 @@
+"""Unit-dimension inference rules UNIT003–UNIT004.
+
+The v1 suffix rules (:mod:`repro.lint.units`) check *names*: ``a_s +
+b_us`` is caught because both operands wear suffixes.  They are blind the
+moment a value passes through an unsuffixed temporary::
+
+    slack = poll_interval_s          # dimension enters the temporary
+    budget_bytes = msg_bytes + slack # UNIT001/002 see nothing wrong
+
+These rules run a fixpoint abstract interpretation (engine in
+:mod:`repro.lint.flow`) that *propagates* unit dimensions through
+assignments, arithmetic, calls, and branches:
+
+* **UNIT003** — an addition, subtraction, or ordering comparison whose
+  operands carry *different inferred dimensions*, where at least one
+  side's dimension arrived through dataflow rather than a suffix on the
+  operand itself (the suffix-on-both case stays UNIT002's).
+* **UNIT004** — dimension laundering: a value whose inferred dimension
+  is known lands in a binding whose suffix declares a *different*
+  family (``count_iters = elapsed``), silently relabeling the quantity.
+
+Dimensions are seeded from the suffix discipline
+(:data:`repro.lint.units.SUFFIX_FAMILIES`), from the
+:mod:`repro.sim.units` conversion helpers, and from literal ``# unit:
+<family>`` annotations.  Arithmetic follows the physical algebra: a
+count scales any dimension, ``time × bandwidth → size``, ``size / time
+→ bandwidth``, ``size / bandwidth → time``, same-dimension division
+drops to dimensionless.  Anything the algebra cannot prove is *unknown*,
+and unknown never fires a rule — joins over branches can only suppress
+diagnostics, never invent them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .flow import Analysis, Env, Report, function_defs, run_analysis
+from .model import FileContext, LintViolation
+from .rules import FileRule, register
+from .units import SUFFIX_FAMILIES, unit_suffix_of
+
+#: The dimension vocabulary (== the suffix families).
+DIMENSIONS: Tuple[str, ...] = tuple(SUFFIX_FAMILIES)
+
+#: ``repro.sim.units`` helpers (matched by dotted-name tail) → dimension
+#: of their return value.
+UNIT_HELPER_DIMS: Dict[str, str] = {
+    "usec": "time",
+    "msec": "time",
+    "nsec": "time",
+    "to_usec": "time",
+    "kib": "size",
+    "mib": "size",
+    "mbps": "bandwidth",
+    "to_mbps": "bandwidth",
+    "mhz": "frequency",
+}
+
+#: Builtins whose result keeps the (joined) dimension of their arguments.
+_DIM_PRESERVING_CALLS = {"abs", "min", "max", "round"}
+
+#: ``a / b`` → result dimension, by (dim(a), dim(b)).
+_DIV_TABLE: Dict[Tuple[str, str], str] = {
+    ("size", "time"): "bandwidth",
+    ("size", "bandwidth"): "time",
+    ("count", "time"): "frequency",
+    ("count", "frequency"): "time",
+    ("size", "count"): "size",
+    ("time", "count"): "time",
+    ("count", "count"): "count",
+}
+
+#: ``a * b`` → result dimension (symmetric pairs listed once).
+_MUL_TABLE: Dict[Tuple[str, str], str] = {
+    ("time", "bandwidth"): "size",
+    ("time", "frequency"): "count",
+    ("count", "time"): "time",
+    ("count", "size"): "size",
+    ("count", "bandwidth"): "bandwidth",
+    ("count", "count"): "count",
+    ("count", "frequency"): "frequency",
+}
+
+_ANNOTATION_RE = re.compile(r"#\s*unit:\s*([a-z]+)")
+
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def suffix_dim(name: str) -> Optional[str]:
+    """The dimension a name's unit suffix declares, if any."""
+    tagged = unit_suffix_of(name)
+    return tagged[0] if tagged else None
+
+
+def _node_name(node: ast.AST) -> Optional[str]:
+    """The identifier a Name/Attribute load presents (attribute tail)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class DimAnalysis(Analysis):
+    """Forward dimension propagation for one function."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        #: line → dimension forced by a ``# unit: <family>`` annotation.
+        self.annotations: Dict[int, str] = {}
+        for lineno, text in enumerate(ctx.lines, start=1):
+            m = _ANNOTATION_RE.search(text)
+            if m and m.group(1) in SUFFIX_FAMILIES:
+                self.annotations[lineno] = m.group(1)
+
+    # ------------------------------------------------------------- seeding
+    def seed(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> Env:
+        env: Env = {}
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            dim = suffix_dim(arg.arg)
+            if dim is not None:
+                env[arg.arg] = frozenset({dim})
+        return env
+
+    # ------------------------------------------------------------ transfer
+    def transfer(
+        self, item: ast.AST, env: Env, report: Optional[Report]
+    ) -> None:
+        if isinstance(item, ast.Assign):
+            dim = self._eval(item.value, env, report)
+            for target in item.targets:
+                self._bind(target, item.value, dim, env, report)
+        elif isinstance(item, ast.AnnAssign):
+            if item.value is not None:
+                dim = self._eval(item.value, env, report)
+                self._bind(item.target, item.value, dim, env, report)
+        elif isinstance(item, ast.AugAssign):
+            target_dim = self._target_dim(item.target, env)
+            value_dim = self._eval(item.value, env, report)
+            if isinstance(item.op, (ast.Add, ast.Sub)):
+                self._check_additive(
+                    item, item.target, target_dim, item.value, value_dim,
+                    report,
+                )
+            result = self._binop_result(item.op, target_dim, value_dim)
+            self._bind(item.target, item.value, result, env, report,
+                       laundering=False)
+        elif isinstance(item, (ast.For, ast.AsyncFor)):
+            self._eval(item.iter, env, report)
+            # Loop targets: no element-dimension tracking — clear facts.
+            for name in self._target_names(item.target):
+                env.pop(name, None)
+        elif isinstance(item, ast.Return):
+            if item.value is not None:
+                self._eval(item.value, env, report)
+        elif isinstance(item, ast.stmt):
+            for expr in ast.iter_child_nodes(item):
+                if isinstance(expr, ast.expr):
+                    self._eval(expr, env, report)
+        elif isinstance(item, ast.expr):
+            self._eval(item, env, report)
+
+    # ------------------------------------------------------------- binding
+    def _bind(
+        self,
+        target: ast.AST,
+        value: ast.expr,
+        dim: Optional[FrozenSet[str]],
+        env: Env,
+        report: Optional[Report],
+        laundering: bool = True,
+    ) -> None:
+        forced = self.annotations.get(getattr(target, "lineno", -1))
+        if forced is not None:
+            dim = frozenset({forced})
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            values: List[Optional[ast.expr]]
+            if isinstance(value, ast.Tuple) and len(value.elts) == len(elts):
+                values = list(value.elts)
+            else:
+                values = [None] * len(elts)
+            for elt, sub in zip(elts, values):
+                sub_dim = (
+                    self._eval(sub, env, None) if sub is not None else None
+                )
+                self._bind(elt, sub or value, sub_dim, env, report,
+                           laundering=sub is not None)
+            return
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is None:
+            return
+        declared = suffix_dim(name)
+        if declared is not None:
+            if (
+                laundering
+                and report is not None
+                and dim is not None
+                and len(dim) == 1
+                and declared not in dim
+            ):
+                (inferred,) = dim
+                report(
+                    target,
+                    f"UNIT004:{name!r} declares a {declared} quantity but "
+                    f"is assigned a value inferred to be {inferred}; the "
+                    "suffix relabels the dimension without a conversion",
+                )
+            dim = frozenset({declared})
+        if isinstance(target, ast.Name):
+            if dim is not None:
+                env[target.id] = dim
+            else:
+                env.pop(target.id, None)
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                yield node.id
+
+    def _target_dim(
+        self, target: ast.AST, env: Env
+    ) -> Optional[FrozenSet[str]]:
+        if isinstance(target, ast.Name):
+            got = env.get(target.id)
+            if got is not None:
+                return got
+        name = _node_name(target)
+        if name is not None:
+            declared = suffix_dim(name)
+            if declared is not None:
+                return frozenset({declared})
+        return None
+
+    # ---------------------------------------------------------- evaluation
+    def _eval(
+        self, node: ast.expr, env: Env, report: Optional[Report]
+    ) -> Optional[FrozenSet[str]]:
+        """Abstract value of ``node``; ``None`` = unknown dimension."""
+        if isinstance(node, ast.Name):
+            got = env.get(node.id)
+            if got is not None:
+                return got
+            dim = suffix_dim(node.id)
+            return frozenset({dim}) if dim else None
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env, report)
+            dim = suffix_dim(node.attr)
+            return frozenset({dim}) if dim else None
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, report)
+            right = self._eval(node.right, env, report)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_additive(
+                    node, node.left, left, node.right, right, report
+                )
+            return self._binop_result(node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env, report)
+        if isinstance(node, ast.Compare):
+            prev_node: ast.expr = node.left
+            prev = self._eval(node.left, env, report)
+            for op, comparator in zip(node.ops, node.comparators):
+                cur = self._eval(comparator, env, report)
+                if isinstance(op, _ORDERED_CMP):
+                    self._check_additive(
+                        node, prev_node, prev, comparator, cur, report,
+                        verb="comparing",
+                    )
+                prev_node, prev = comparator, cur
+            return None
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                self._eval(arg, env, report)
+            for kw in node.keywords:
+                self._eval(kw.value, env, report)
+            dotted = self.ctx.dotted_name(node.func) or ""
+            tail = dotted.rpartition(".")[2]
+            helper = UNIT_HELPER_DIMS.get(tail)
+            if helper is not None:
+                return frozenset({helper})
+            if tail == "len":
+                return frozenset({"count"})
+            if tail in _DIM_PRESERVING_CALLS and node.args:
+                dims = [self._eval(a, env, None) for a in node.args]
+                known = [d for d in dims if d is not None]
+                if known and all(d == known[0] for d in known):
+                    return known[0]
+            return None
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, report)
+            a = self._eval(node.body, env, report)
+            b = self._eval(node.orelse, env, report)
+            if a is not None and b is not None:
+                return a | b
+            return a if b is None else b
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value, env, report)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, report)
+            return None
+        if isinstance(node, ast.Constant):
+            return None
+        # Comprehensions, lambdas, f-strings, subscripts, …: walk children
+        # for reportable sub-expressions, yield no dimension.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, report)
+        return None
+
+    # ------------------------------------------------------------- algebra
+    def _binop_result(
+        self,
+        op: ast.operator,
+        left: Optional[FrozenSet[str]],
+        right: Optional[FrozenSet[str]],
+    ) -> Optional[FrozenSet[str]]:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left is not None and left == right:
+                return left
+            return None
+        a = self._single(left)
+        b = self._single(right)
+        if isinstance(op, ast.Mult):
+            if a is None or b is None:
+                return None
+            got = _MUL_TABLE.get((a, b)) or _MUL_TABLE.get((b, a))
+            return frozenset({got}) if got else None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if a is None or b is None:
+                return None
+            if a == b:
+                return None  # ratio: dimensionless
+            got = _DIV_TABLE.get((a, b))
+            return frozenset({got}) if got else None
+        return None
+
+    @staticmethod
+    def _single(dim: Optional[FrozenSet[str]]) -> Optional[str]:
+        if dim is not None and len(dim) == 1:
+            return next(iter(dim))
+        return None
+
+    def _check_additive(
+        self,
+        anchor: ast.AST,
+        left_node: ast.AST,
+        left: Optional[FrozenSet[str]],
+        right_node: ast.AST,
+        right: Optional[FrozenSet[str]],
+        report: Optional[Report],
+        verb: str = "combining",
+    ) -> None:
+        if report is None:
+            return
+        a = self._single(left)
+        b = self._single(right)
+        if a is None or b is None or a == b:
+            return
+        # Both operands wearing their suffix on the node itself is the v1
+        # UNIT002 case; UNIT003 exists for the flows UNIT002 cannot see.
+        def syntactic(node: ast.AST) -> bool:
+            name = _node_name(node)
+            return name is not None and suffix_dim(name) is not None
+
+        if syntactic(left_node) and syntactic(right_node):
+            return
+        report(
+            anchor,
+            f"UNIT003:{verb} a {a} quantity with a {b} quantity "
+            "(dimensions inferred through dataflow); convert to one "
+            "dimension explicitly (repro.sim.units)",
+        )
+
+
+class _DimRuleBase(FileRule):
+    """Shared driver: run :class:`DimAnalysis`, keep this rule's hits."""
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        violations: List[LintViolation] = []
+
+        def sink(anchor: ast.AST, tagged: str) -> None:
+            rule, _, message = tagged.partition(":")
+            if rule == self.rule_id:
+                violations.append(
+                    ctx.make_violation(self.rule_id, anchor, message)
+                )
+
+        analysis = DimAnalysis(ctx)
+        for fn in function_defs(ctx.tree):
+            run_analysis(fn, analysis, sink)
+        seen: Set[Tuple[int, int, str]] = set()
+        for v in violations:
+            key = (v.line, v.col, v.message)
+            if key not in seen:
+                seen.add(key)
+                yield v
+
+
+@register
+class MixedDimensionRule(_DimRuleBase):
+    """UNIT003: inferred-dimension mismatch in additive/comparison ops."""
+
+    rule_id = "UNIT003"
+    summary = (
+        "addition/subtraction/comparison across different inferred unit "
+        "dimensions (dataflow through unsuffixed temporaries)"
+    )
+
+
+@register
+class DimensionLaunderingRule(_DimRuleBase):
+    """UNIT004: suffix relabels a value of a different inferred dimension."""
+
+    rule_id = "UNIT004"
+    summary = (
+        "unit-suffixed binding assigned a value whose inferred dimension "
+        "contradicts the suffix (dimension laundering)"
+    )
+
+
+__all__ = [
+    "DIMENSIONS",
+    "UNIT_HELPER_DIMS",
+    "DimAnalysis",
+    "MixedDimensionRule",
+    "DimensionLaunderingRule",
+    "suffix_dim",
+]

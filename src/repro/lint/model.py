@@ -25,8 +25,13 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 #: repro sub-packages whose code executes *inside* the simulation: any
 #: nondeterminism here perturbs event order and breaks bit-reproducibility.
 SIM_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "mpi", "transport", "hardware", "os"}
+    {"sim", "mpi", "transport", "hardware", "os", "patterns"}
 )
+
+#: Packages whose output must be byte-stable (golden traces, exports)
+#: even though they run outside the simulation: iteration-order rules
+#: apply here too.
+ORDER_SENSITIVE_PACKAGES: FrozenSet[str] = frozenset({"obs"})
 
 #: Modules outside the sim packages whose bodies still run on the virtual
 #: clock (the COMB method drivers are engine processes).
@@ -202,6 +207,12 @@ class FileContext:
         self.sim_scope: bool = top in SIM_PACKAGES
         #: Sim scope plus the COMB method drivers (engine processes).
         self.hot_scope: bool = self.sim_scope or (rel in HOT_MODULES)
+        #: Hot scope plus packages whose *output order* is contractual
+        #: (obs: golden traces, exporters, attribution) — the
+        #: iteration-order determinism rules apply here.
+        self.order_scope: bool = self.hot_scope or (
+            top in ORDER_SENSITIVE_PACKAGES
+        )
         self._qualnames: Dict[int, str] = {}
         self._index_symbols()
 

@@ -1,0 +1,174 @@
+"""Trace-schema rule OBS001.
+
+The observability stack consumes trace events positionally: the span
+stitcher reads ``detail[0]`` of a ``msg_bind`` as the request id, the
+attribution pass reads ``detail[1]`` of a ``poll_window`` as the window
+length.  An emitter that renames a kind or reorders its detail tuple
+silently corrupts every downstream artifact — goldens, attributions,
+exports — without raising.
+
+:mod:`repro.obs.schema` declares every event kind and its detail field
+layout.  OBS001 is a :class:`~repro.lint.rules.ProjectRule` that reads
+the registry *from the linted set's own AST* (like CACHE001 reads the
+executor) and cross-checks every ``*.record(...)`` emitter call site:
+
+* the call must pass the full ``(time, source, kind, detail)`` arity;
+* a constant ``kind`` must be declared in the registry (exactly, or
+  under a wildcard prefix such as ``fault_``/``q_``);
+* when the detail is a tuple literal its length must match the declared
+  field count.
+
+Dynamically composed kinds (f-strings, concatenation) are skipped —
+those sites are covered by the wildcard prefixes they construct.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .model import FileContext, LintViolation
+from .rules import ProjectRule, register
+
+#: Receiver names that identify a tracer emitter call site: the chain
+#: tail before ``.record`` (``trace.record``, ``self.tracer.record``,
+#: ``engine.trace.record``).
+_TRACER_RECEIVERS = frozenset({"trace", "tracer"})
+
+#: ``self.record(...)`` counts as an emitter inside tracer classes.
+_TRACER_CLASS_MARKER = "Tracer"
+
+#: Path tail of the schema registry module in any tree layout.
+SCHEMA_TAIL = "obs/schema.py"
+
+
+def _load_registry(
+    schema_ctx: FileContext,
+) -> Tuple[Dict[str, int], Tuple[str, ...]]:
+    """``(kind → field count, wildcard prefixes)`` from the registry AST."""
+    fields: Dict[str, int] = {}
+    prefixes: Tuple[str, ...] = ()
+    for node in ast.walk(schema_ctx.tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "EVENT_SCHEMAS" and isinstance(value, ast.Dict):
+                for key, val in zip(value.keys, value.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(val, ast.Tuple)
+                    ):
+                        fields[key.value] = len(val.elts)
+            elif target.id == "WILDCARD_KIND_PREFIXES" and isinstance(
+                value, (ast.Tuple, ast.List)
+            ):
+                prefixes = tuple(
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                )
+    return fields, prefixes
+
+
+@register
+class TraceSchemaRule(ProjectRule):
+    """OBS001: every tracer emitter must match the declared event schema."""
+
+    rule_id = "OBS001"
+    summary = (
+        "ObsTracer emitter call site disagrees with the declared event "
+        "schema registry (repro.obs.schema)"
+    )
+
+    def check_project(
+        self, ctxs: Sequence[FileContext]
+    ) -> Iterator[LintViolation]:
+        schema_ctx = next(
+            (c for c in ctxs if (c.repro_relpath or "") == SCHEMA_TAIL),
+            None,
+        )
+        if schema_ctx is None:
+            return  # registry not in the linted set: nothing to check
+        fields, prefixes = _load_registry(schema_ctx)
+        for ctx in ctxs:
+            yield from self._check_file(ctx, fields, prefixes)
+
+    def _check_file(
+        self,
+        ctx: FileContext,
+        fields: Dict[str, int],
+        prefixes: Tuple[str, ...],
+    ) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_emitter(ctx, node):
+                continue
+            if node.keywords or any(
+                isinstance(a, ast.Starred) for a in node.args
+            ):
+                continue  # dynamic forwarding (MultiTracer etc.)
+            if len(node.args) != 4:
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"tracer emitter called with {len(node.args)} "
+                    "positional arguments; the event contract is "
+                    "record(time_s, source, kind, detail)",
+                )
+                continue
+            kind_node = node.args[2]
+            if not (
+                isinstance(kind_node, ast.Constant)
+                and isinstance(kind_node.value, str)
+            ):
+                continue  # dynamically composed kind (fault_*/q_*)
+            kind = kind_node.value
+            declared = fields.get(kind)
+            if declared is None:
+                if not kind.startswith(prefixes):
+                    yield ctx.make_violation(
+                        self.rule_id,
+                        node,
+                        f"event kind {kind!r} is not declared in "
+                        "repro.obs.schema.EVENT_SCHEMAS; declare its "
+                        "detail layout there so consumers can index it",
+                    )
+                continue
+            detail = node.args[3]
+            if isinstance(detail, ast.Tuple) and len(detail.elts) != declared:
+                yield ctx.make_violation(
+                    self.rule_id,
+                    node,
+                    f"event kind {kind!r} emits a {len(detail.elts)}-field "
+                    f"detail tuple but repro.obs.schema declares "
+                    f"{declared} field(s); emitter and registry drifted",
+                )
+
+    @staticmethod
+    def _is_emitter(ctx: FileContext, node: ast.Call) -> bool:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "record"):
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in _TRACER_RECEIVERS:
+                return True
+            if receiver.id == "self":
+                symbol = ctx.symbol_at(node.lineno)
+                return _TRACER_CLASS_MARKER in symbol.split(".")[0]
+            return False
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in _TRACER_RECEIVERS
+        return False
+
+
+__all__ = ["TraceSchemaRule", "SCHEMA_TAIL"]

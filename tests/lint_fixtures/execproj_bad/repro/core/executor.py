@@ -1,0 +1,29 @@
+"""Minimal executor exposing the worker-entry idioms EXEC001 reads."""
+
+from functools import partial
+
+
+def run_polling(world, task):
+    from repro.sim.state import note_progress
+
+    note_progress(task)
+    return world
+
+
+_METHODS = {
+    "polling": (dict, run_polling, ()),
+}
+
+
+def run_task(task):
+    method = _METHODS[task.kind][1]
+    return method({}, task)
+
+
+def _sim_entry(task, check=False):
+    return run_task(task)
+
+
+def launch(tasks, pool):
+    fn = partial(_sim_entry, check=True)
+    return [pool.apply(fn, (t,)) for t in tasks]

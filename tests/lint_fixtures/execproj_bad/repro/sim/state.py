@@ -1,0 +1,21 @@
+"""Worker-reachable module state: every mutation here diverges between
+the serial path and the spawn-pool path."""
+
+_progress = []
+_counts = {}
+_total = 0
+
+
+def note_progress(task):
+    _progress.append(task.name)  # expect: EXEC001
+    bump_counter()
+    record_count(task.name)
+
+
+def bump_counter():
+    global _total
+    _total = _total + 1  # expect: EXEC001
+
+
+def record_count(name):
+    _counts[name] = _counts.get(name, 0) + 1  # expect: EXEC001

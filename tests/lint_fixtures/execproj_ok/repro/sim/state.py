@@ -1,0 +1,25 @@
+"""Worker-reachable code with state threaded through arguments, plus the
+sanctioned context-stack idiom (bracketed mutation, exempt by decorator)."""
+
+from contextlib import contextmanager
+
+_active = []
+
+
+def note_progress(task, log):
+    with use_scope(task):
+        log.append(task.name)
+    return tally(log)
+
+
+def tally(log):
+    return len(log)
+
+
+@contextmanager
+def use_scope(obs):
+    _active.append(obs)
+    try:
+        yield obs
+    finally:
+        _active.pop()

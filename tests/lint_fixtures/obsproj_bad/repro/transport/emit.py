@@ -1,0 +1,9 @@
+"""Emitter call sites that drifted from the declared event schemas."""
+
+
+def send(trace, now_s, node, pkt):
+    trace.record(now_s, node, "packet_tx")  # expect: OBS001
+    trace.record(now_s, node, "packet_rx", (pkt.kind,))  # expect: OBS001
+    trace.record(now_s, node, "packet_tx", (pkt.kind, pkt.msg_id))  # expect: OBS001
+    trace.record(now_s, node, "fault_drop", (pkt.msg_id,))
+    trace.record(now_s, node, "poll", (1,))

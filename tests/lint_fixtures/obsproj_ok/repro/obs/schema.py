@@ -1,0 +1,8 @@
+"""Mini event-schema registry for the OBS001 clean tree."""
+
+EVENT_SCHEMAS = {
+    "packet_tx": ("packet_kind", "msg_id", "packet_index"),
+    "poll": ("completed",),
+}
+
+WILDCARD_KIND_PREFIXES = ("fault_",)

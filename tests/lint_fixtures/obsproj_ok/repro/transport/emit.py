@@ -1,0 +1,27 @@
+"""Emitter call sites that agree with the declared event schemas."""
+
+
+def send(trace, now_s, node, pkt):
+    trace.record(now_s, node, "packet_tx", (pkt.kind, pkt.msg_id, pkt.index))
+    trace.record(now_s, node, "poll", (1,))
+    trace.record(now_s, node, f"fault_{pkt.kind}", (pkt.msg_id,))
+
+
+class MultiTracer:
+    def __init__(self, sinks):
+        self.sinks = sinks
+
+    def record(self, t_s, node, kind, detail):
+        for sink in self.sinks:
+            sink.record(t_s, node, kind, detail)
+
+
+class QueueTracer:
+    def __init__(self):
+        self.events = []
+
+    def record(self, t_s, node, kind, detail):
+        self.events.append((t_s, node, kind, detail))
+
+    def on_poll(self, t_s, node, completed):
+        self.record(t_s, node, "poll", (completed,))

@@ -1,0 +1,33 @@
+"""UNIT003 fixture: mixed inferred dimensions reach adds/compares.
+
+Every violation here is invisible to the suffix rules UNIT001/UNIT002:
+the offending operand is an unsuffixed temporary whose dimension is only
+known through dataflow.
+"""
+
+
+def mix_through_temporary(msg_bytes, poll_interval_s):
+    slack = poll_interval_s
+    return msg_bytes + slack  # expect: UNIT003
+
+
+def compare_through_temporary(limit_bytes, elapsed_s):
+    used = elapsed_s
+    if limit_bytes < used:  # expect: UNIT003
+        return 0
+    return 1
+
+
+def mix_across_branches(flag, wire_gap_s, idle_s, pkt_bytes):
+    if flag:
+        budget = wire_gap_s
+    else:
+        budget = idle_s
+    return pkt_bytes - budget  # expect: UNIT003
+
+
+def helper_seeded(raw, chunk_bytes):
+    from repro.sim.units import usec
+
+    window = usec(raw)
+    return chunk_bytes + window  # expect: UNIT003

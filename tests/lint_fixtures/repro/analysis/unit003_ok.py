@@ -1,0 +1,21 @@
+"""UNIT003 clean counterpart: dimensions converted before combining."""
+
+
+def converted_before_add(msg_bytes, poll_interval_s, bandwidth_Bps):
+    slack_bytes = poll_interval_s * bandwidth_Bps
+    return msg_bytes + slack_bytes
+
+
+def same_dimension_flow(total_s, poll_interval_s):
+    spent = poll_interval_s
+    return total_s - spent
+
+
+def ratio_is_dimensionless(work_s, window_s, n_iters):
+    fraction = work_s / window_s
+    return fraction + n_iters / max(n_iters, 1)
+
+
+def unknown_stays_silent(a, b):
+    c = a
+    return b + c

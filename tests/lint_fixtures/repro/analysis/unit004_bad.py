@@ -1,0 +1,30 @@
+"""UNIT004 fixture: dimension laundering through relabeling assignments.
+
+A value whose dimension is inferred lands in a binding whose suffix
+declares a different family — the name now lies about the quantity.
+"""
+
+
+def launder_through_temporary(elapsed_s):
+    raw = elapsed_s
+    total_bytes = raw  # expect: UNIT004
+    return total_bytes
+
+
+def launder_directly(delay_s):
+    window_iters = delay_s  # expect: UNIT004
+    return window_iters
+
+
+def launder_helper_result(raw):
+    from repro.sim.units import usec
+
+    wait = usec(raw)
+    n_pkts = wait  # expect: UNIT004
+    return n_pkts
+
+
+def launder_product(elapsed_s, bandwidth_Bps):
+    moved = elapsed_s * bandwidth_Bps
+    budget_s = moved  # expect: UNIT004
+    return budget_s

@@ -1,0 +1,23 @@
+"""UNIT004 clean counterpart: relabels carry a real conversion."""
+
+
+def product_matches_suffix(elapsed_s, bandwidth_Bps):
+    moved = elapsed_s * bandwidth_Bps
+    total_bytes = moved
+    return total_bytes
+
+
+def division_matches_suffix(chunk_bytes, bandwidth_Bps):
+    took = chunk_bytes / bandwidth_Bps
+    xfer_s = took
+    return xfer_s
+
+
+def annotated_rebind(elapsed_s, tick_hz):
+    window_iters = elapsed_s * tick_hz  # unit: count
+    return window_iters
+
+
+def same_family_rebind(poll_interval_s):
+    wait_s = poll_interval_s
+    return wait_s

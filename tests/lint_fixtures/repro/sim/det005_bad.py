@@ -1,0 +1,29 @@
+"""DET005 fixture: unordered values flow into order-sensitive sinks.
+
+Every flow here passes through a temporary, so DET003's syntactic
+set-iteration check cannot see it.
+"""
+
+import hashlib
+import json
+from typing import Set
+
+
+def key_from_set(parts):
+    chosen = set(parts)
+    return json.dumps(chosen)  # expect: DET005
+
+
+def digest_union(members, extras):
+    pending = members | {"root"}
+    blob = ",".join(pending)  # expect: DET005
+    return hashlib.sha256(blob.encode()).hexdigest(), extras
+
+
+def hash_view_difference(current, stale):
+    gone = current.keys() - stale.keys()
+    return json.dumps(tuple(gone))  # expect: DET005
+
+
+def typed_param(pending: Set[str]):
+    return ",".join(pending)  # expect: DET005

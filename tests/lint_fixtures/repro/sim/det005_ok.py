@@ -1,0 +1,26 @@
+"""DET005 clean counterpart: sorted() launders before every sink."""
+
+import hashlib
+import json
+from typing import Set
+
+
+def key_from_set(parts):
+    chosen = set(parts)
+    ordered = sorted(chosen)
+    return json.dumps(ordered)
+
+
+def digest_union(members):
+    pending = members | {"root"}
+    blob = ",".join(sorted(pending))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def typed_param(pending: Set[str]):
+    return ",".join(sorted(pending))
+
+
+def ordered_all_along(rows):
+    names = [r.name for r in rows]
+    return json.dumps(names)

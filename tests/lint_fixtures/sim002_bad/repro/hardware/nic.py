@@ -1,0 +1,29 @@
+"""SIM002 fixture: off-contract float accumulation in replay loops.
+
+Lives at ``repro/hardware/nic.py`` so the rule's burst-module scoping
+applies, exactly as it does to the real burst replay.
+"""
+
+
+def replay_chain(sizes, setup_s, bw_Bps, start_at):
+    t = start_at
+    total = 0
+    for nbytes in sizes:
+        done = t + (setup_s + nbytes / bw_Bps)
+        t += setup_s + nbytes / bw_Bps  # expect: SIM002
+        total += 1
+    return t, total, done
+
+
+def drain_window(window_s, step_s):
+    clock = 0.0
+    while clock < window_s:
+        clock = clock + step_s  # expect: SIM002
+    return clock
+
+
+def suffixed_accumulator(frags, dma_s):
+    busy_s = 0.0
+    for _ in frags:
+        busy_s += dma_s  # expect: SIM002
+    return busy_s

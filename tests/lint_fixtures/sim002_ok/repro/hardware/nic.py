@@ -1,0 +1,28 @@
+"""SIM002 clean counterpart: the sanctioned round-trip arithmetic."""
+
+
+def replay_chain(sizes, setup_s, bw_Bps, start_at):
+    t = start_at
+    busy = 0.0
+    n_done = 0
+    for nbytes in sizes:
+        start = t if busy <= t else busy
+        done = start + (setup_s + nbytes / bw_Bps)
+        busy = done
+        t = t + (done - t)
+        n_done += 1
+    return t, n_done
+
+
+def augmented_round_trip(arrivals, start_at):
+    w = start_at
+    for done in arrivals:
+        w += done - w
+    return w
+
+
+def rebind_not_accumulate(sizes, setup_s):
+    last = 0.0
+    for _ in sizes:
+        last = setup_s
+    return last

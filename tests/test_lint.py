@@ -18,8 +18,10 @@ from repro.lint import (
     Baseline,
     all_rule_classes,
     format_json,
+    format_sarif,
     lint_paths,
     rule_catalog,
+    sarif_log,
 )
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
@@ -49,9 +51,12 @@ BAD_FIXTURES = [
     SIM_FIX / "det002_bad.py",
     SIM_FIX / "det003_bad.py",
     SIM_FIX / "det004_bad.py",
+    SIM_FIX / "det005_bad.py",
     SIM_FIX / "sim001_bad.py",
     ANALYSIS_FIX / "unit001_bad.py",
     ANALYSIS_FIX / "unit002_bad.py",
+    ANALYSIS_FIX / "unit003_bad.py",
+    ANALYSIS_FIX / "unit004_bad.py",
 ]
 
 OK_FIXTURES = [
@@ -59,10 +64,35 @@ OK_FIXTURES = [
     SIM_FIX / "det002_ok.py",
     SIM_FIX / "det003_ok.py",
     SIM_FIX / "det004_ok.py",
+    SIM_FIX / "det005_ok.py",
     SIM_FIX / "sim001_ok.py",
     ANALYSIS_FIX / "unit001_ok.py",
     ANALYSIS_FIX / "unit002_ok.py",
+    ANALYSIS_FIX / "unit003_ok.py",
+    ANALYSIS_FIX / "unit004_ok.py",
 ]
+
+#: Rules validated by whole-tree fixtures (*_bad/ vs *_ok/ directories)
+#: rather than single-file ones: they key on project structure
+#: (executor facts, the schema registry) or on module path tails.
+TREE_FIXTURE_RULES = {
+    "CACHE001": "cacheproj",
+    "EXEC001": "execproj",
+    "OBS001": "obsproj",
+    "SIM002": "sim002",
+}
+
+
+def tree_expected_hits(tree):
+    hits = set()
+    for path in sorted(tree.rglob("*.py")):
+        for lineno, text in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            m = _EXPECT_RE.search(text)
+            if m:
+                hits.add((m.group(1), lineno))
+    return hits
 
 
 @pytest.mark.parametrize(
@@ -89,9 +119,81 @@ def test_ok_fixture_is_clean(fixture):
 
 def test_every_rule_has_a_bad_and_ok_fixture():
     fixture_rules = {p.stem.split("_")[0].upper() for p in BAD_FIXTURES}
-    fixture_rules.add("CACHE001")  # covered by the cacheproj trees below
+    fixture_rules |= set(TREE_FIXTURE_RULES)
     for cls in all_rule_classes():
         assert cls.rule_id in fixture_rules
+    for stem in TREE_FIXTURE_RULES.values():
+        assert (FIXTURES / f"{stem}_bad").is_dir()
+        assert (FIXTURES / f"{stem}_ok").is_dir()
+
+
+@pytest.mark.parametrize(
+    "rule,stem",
+    sorted(TREE_FIXTURE_RULES.items()),
+    ids=sorted(TREE_FIXTURE_RULES),
+)
+def test_tree_fixture_bad_and_ok(rule, stem):
+    if rule == "CACHE001":
+        pytest.skip("cacheproj asserts message content separately below")
+    bad = FIXTURES / f"{stem}_bad"
+    report = lint_paths([bad])
+    assert actual_hits(report) == tree_expected_hits(bad)
+    assert {v.rule for v in report.violations} == {rule}
+
+    ok_report = lint_paths([FIXTURES / f"{stem}_ok"])
+    assert ok_report.ok, [v.to_dict() for v in ok_report.violations]
+
+
+# ----------------------------------------------------- dataflow differential
+
+
+def test_unit003_catches_mutation_suffix_rules_miss(tmp_path):
+    """Seed a unit-mixing mutation into real analysis code: the knee
+    predictor accidentally adds raw bytes (laundered through an
+    unsuffixed temporary) to a time.  The syntactic suffix rules
+    UNIT001/UNIT002 cannot see it; the dataflow rule UNIT003 must."""
+    repo = Path(__file__).parent.parent
+    source = (repo / "src" / "repro" / "analysis" / "knees.py").read_text()
+    original = "    t_knee_s = 2 * base.queue_depth * msg_bytes / plateau\n"
+    mutated = (
+        "    raw = msg_bytes\n"
+        "    t_knee_s = 2 * base.queue_depth * raw / plateau\n"
+        "    predicted_bad = t_knee_s + raw\n"
+    )
+    assert original in source, "knees.py drifted; update the mutation seed"
+    target = tmp_path / "repro" / "analysis" / "knees.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source.replace(original, mutated))
+
+    suffix_only = lint_paths([target], select={"UNIT001", "UNIT002"})
+    assert suffix_only.ok, [v.to_dict() for v in suffix_only.violations]
+
+    dataflow = lint_paths([target], select={"UNIT003"})
+    assert [v.rule for v in dataflow.violations] == ["UNIT003"]
+    (violation,) = dataflow.violations
+    assert "time" in violation.message and "size" in violation.message
+
+
+# -------------------------------------------------------------- parallelism
+
+
+def test_parallel_lint_matches_serial():
+    paths = [SIM_FIX, ANALYSIS_FIX]
+    serial = lint_paths(paths, jobs=1)
+    pooled = lint_paths(paths, jobs=2)
+    as_dicts = lambda r: [v.to_dict() for v in r.all_found()]  # noqa: E731
+    assert as_dicts(pooled) == as_dicts(serial)
+    assert pooled.files_checked == serial.files_checked
+    assert serial.violations  # the comparison is not vacuous
+
+
+def test_exclude_skips_directory_components():
+    tests_dir = Path(__file__).parent
+    report = lint_paths(
+        [tests_dir / "lint_fixtures"], exclude={"lint_fixtures"}
+    )
+    assert report.files_checked == 0
+    assert report.ok
 
 
 # ------------------------------------------------------------- suppressions
@@ -204,6 +306,110 @@ def test_shipped_baseline_is_empty():
     assert doc["entries"] == []
 
 
+# ----------------------------------------------------------------- SARIF
+
+
+def _sarif_schema():
+    path = Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json"
+    return json.loads(path.read_text())
+
+
+def test_sarif_log_validates_against_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    report = lint_paths([SIM_FIX / "det001_bad.py"])
+    doc = sarif_log(report)
+    jsonschema.validate(doc, _sarif_schema())
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "comb-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+        assert "combLintFingerprint/v1" in result["partialFingerprints"]
+
+
+def test_sarif_marks_suppressed_and_baselined(tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    fixture = ANALYSIS_FIX / "unit001_bad.py"
+    baseline = Baseline.from_violations(lint_paths([fixture]).violations)
+    report = lint_paths(
+        [fixture, SIM_FIX / "suppressed.py"], baseline=baseline
+    )
+    assert report.baselined and report.suppressed
+    doc = sarif_log(report)
+    jsonschema.validate(doc, _sarif_schema())
+    kinds = {
+        s["kind"]
+        for result in doc["runs"][0]["results"]
+        for s in result.get("suppressions", [])
+    }
+    assert kinds == {"inSource", "external"}
+    gating = [
+        r for r in doc["runs"][0]["results"] if "suppressions" not in r
+    ]
+    assert len(gating) == len(report.violations)
+
+
+def test_format_sarif_is_deterministic_json():
+    report = lint_paths([SIM_FIX / "det002_bad.py"])
+    text = format_sarif(report)
+    assert text == format_sarif(report)
+    assert json.loads(text)["version"] == "2.1.0"
+
+
+def test_cli_sarif_output(capsys, tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    rc = cli_main(
+        [
+            "lint",
+            str(SIM_FIX / "det001_bad.py"),
+            "--no-baseline",
+            "--format=sarif",
+        ]
+    )
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    jsonschema.validate(doc, _sarif_schema())
+    assert doc["version"] == "2.1.0"
+
+    rc = cli_main(
+        [
+            "lint",
+            str(SIM_FIX / "det001_ok.py"),
+            "--no-baseline",
+            "--format=sarif",
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    jsonschema.validate(doc, _sarif_schema())
+    assert doc["runs"][0]["results"] == []
+
+
+def test_cli_jobs_flag(capsys):
+    rc = cli_main(
+        [
+            "lint",
+            str(SIM_FIX),
+            "--no-baseline",
+            "--format=json",
+            "--jobs",
+            "2",
+        ]
+    )
+    assert rc == 1
+    pooled = json.loads(capsys.readouterr().out)
+    rc = cli_main(
+        ["lint", str(SIM_FIX), "--no-baseline", "--format=json"]
+    )
+    assert rc == 1
+    serial = json.loads(capsys.readouterr().out)
+    assert pooled == serial
+
+
 # ----------------------------------------------------------------- CLI
 
 
@@ -258,10 +464,16 @@ def test_rule_catalog_complete():
         "DET002",
         "DET003",
         "DET004",
+        "DET005",
         "UNIT001",
         "UNIT002",
+        "UNIT003",
+        "UNIT004",
         "CACHE001",
+        "EXEC001",
         "SIM001",
+        "SIM002",
+        "OBS001",
     }
     for summary in catalog.values():
         assert summary
