@@ -11,15 +11,32 @@ from .figures import FigureData
 
 
 def write_csv(fig: FigureData, path: Union[str, Path]) -> Path:
-    """Write one figure as a long-format CSV (curve, x, y)."""
+    """Write one figure as a long-format CSV (curve, x, y).
+
+    Curves carrying replication CI bands get two extra columns
+    (``y_lo``/``y_hi``); band-free figures keep the historical 3-column
+    layout byte for byte.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    banded = any(c.y_lo is not None and c.y_hi is not None
+                 for c in fig.curves)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["curve", fig.xlabel, fig.ylabel])
+        header = ["curve", fig.xlabel, fig.ylabel]
+        if banded:
+            header += ["y_lo", "y_hi"]
+        writer.writerow(header)
         for curve in fig.curves:
-            for x, y in zip(curve.x, curve.y):
-                writer.writerow([curve.label, repr(x), repr(y)])
+            has_band = curve.y_lo is not None and curve.y_hi is not None
+            for i, (x, y) in enumerate(zip(curve.x, curve.y)):
+                row = [curve.label, repr(x), repr(y)]
+                if banded:
+                    if has_band:
+                        row += [repr(curve.y_lo[i]), repr(curve.y_hi[i])]
+                    else:
+                        row += ["", ""]
+                writer.writerow(row)
     return path
 
 

@@ -1,373 +1,83 @@
-"""Per-figure data generators: one function per results figure (4–17).
+"""Per-figure generators: thin wrappers over the declarative registry.
 
-Each ``figNN`` function re-runs the measurements behind the corresponding
-figure of the paper and returns a :class:`FigureData` with the same axes
-and series.  ``per_decade`` trades resolution for runtime (the paper's
-plots have ~8 points per decade; 2 is enough to reproduce every shape).
+Each ``figNN`` function regenerates the corresponding paper figure by
+interpreting its :data:`~repro.analysis.registry.FIGURE_SPECS` entry —
+the axes, curve rows, and notes live in the table, not here.  The
+wrappers keep the historical call signatures (``per_decade``, ``sizes``,
+``msg_bytes``, ``grid``) for drivers, tests, and benchmarks.
+``per_decade`` trades resolution for runtime (the paper's plots have ~8
+points per decade; 2 is enough to reproduce every shape).
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from ..config import SystemConfig, gm_system, portals_system
 from ..core.executor import SweepExecutor
-from ..core.polling import PollingConfig
-from ..core.pww import PwwConfig
-from ..core.results import Series
 from ..core.suite import PAPER_SIZES
-from ..core.sweep import log_intervals, polling_sweep, pww_sweep
+from .registry import (FIGURE_SPECS, Curve, FigureData, _LINEAR_GRID,
+                       build_figure)
+
+__all__ = [
+    "ALL_FIGURES", "Curve", "FigureData",
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+]
 
 
-@dataclass
-class Curve:
-    """One plotted line."""
-
-    label: str
-    x: List[float]
-    y: List[float]
-
-
-@dataclass
-class FigureData:
-    """Data behind one paper figure."""
-
-    fig_id: str
-    title: str
-    xlabel: str
-    ylabel: str
-    curves: List[Curve]
-    xscale: str = "log"
-    yscale: str = "linear"
-    notes: str = ""
-
-    def curve(self, label: str) -> Curve:
-        """Look a curve up by its label."""
-        for c in self.curves:
-            if c.label == label:
-                return c
-        raise KeyError(f"{self.fig_id}: no curve {label!r}")
-
-    def to_dict(self) -> dict:
-        """JSON-ready form."""
-        return {
-            "fig_id": self.fig_id,
-            "title": self.title,
-            "xlabel": self.xlabel,
-            "ylabel": self.ylabel,
-            "xscale": self.xscale,
-            "yscale": self.yscale,
-            "notes": self.notes,
-            "curves": [dataclasses.asdict(c) for c in self.curves],
-        }
+def _per_size_fig(fig_id: str) -> Callable[..., FigureData]:
+    def generate(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
+                 executor: Optional[SweepExecutor] = None) -> FigureData:
+        return build_figure(FIGURE_SPECS[fig_id], per_decade=per_decade,
+                            sizes=sizes, executor=executor)
+    generate.__name__ = fig_id
+    generate.__qualname__ = fig_id
+    generate.__doc__ = FIGURE_SPECS[fig_id].title
+    return generate
 
 
-def _size_label(nbytes: int) -> str:
-    return f"{nbytes // 1024} KB"
+def _per_system_fig(fig_id: str) -> Callable[..., FigureData]:
+    def generate(per_decade: int = 2, msg_bytes: int = 100 * 1024,
+                 executor: Optional[SweepExecutor] = None) -> FigureData:
+        return build_figure(FIGURE_SPECS[fig_id], per_decade=per_decade,
+                            msg_bytes=msg_bytes, executor=executor)
+    generate.__name__ = fig_id
+    generate.__qualname__ = fig_id
+    generate.__doc__ = FIGURE_SPECS[fig_id].title
+    return generate
 
 
-def _poll_curves(
-    system: SystemConfig,
-    sizes: Sequence[int],
-    y_attr: str,
-    per_decade: int,
-    lo: float = 1e1,
-    hi: float = 1e8,
-    x_attr: str = "poll_interval_iters",
-    executor: Optional[SweepExecutor] = None,
-) -> List[Curve]:
-    grid = log_intervals(lo, hi, per_decade)
-    curves = []
-    for size_bytes in sizes:
-        series = polling_sweep(system, size_bytes, grid, executor=executor)
-        curves.append(
-            Curve(_size_label(size_bytes), series.xs(x_attr), series.xs(y_attr))
-        )
-    return curves
+def _linear_grid_fig(fig_id: str) -> Callable[..., FigureData]:
+    def generate(msg_bytes: int = 100 * 1024,
+                 grid: Sequence[int] = _LINEAR_GRID,
+                 executor: Optional[SweepExecutor] = None) -> FigureData:
+        return build_figure(FIGURE_SPECS[fig_id], msg_bytes=msg_bytes,
+                            grid=grid, executor=executor)
+    generate.__name__ = fig_id
+    generate.__qualname__ = fig_id
+    generate.__doc__ = FIGURE_SPECS[fig_id].title
+    return generate
 
 
-def _pww_curves(
-    system: SystemConfig,
-    sizes: Sequence[int],
-    y_attr: str,
-    per_decade: int,
-    lo: float = 1e3,
-    hi: float = 1e8,
-    x_attr: str = "work_interval_iters",
-    executor: Optional[SweepExecutor] = None,
-) -> List[Curve]:
-    grid = log_intervals(lo, hi, per_decade)
-    curves = []
-    for size_bytes in sizes:
-        series = pww_sweep(system, size_bytes, grid, executor=executor)
-        curves.append(
-            Curve(_size_label(size_bytes), series.xs(x_attr), series.xs(y_attr))
-        )
-    return curves
+fig04 = _per_size_fig("fig04")
+fig05 = _per_size_fig("fig05")
+fig06 = _per_size_fig("fig06")
+fig07 = _per_size_fig("fig07")
+fig08 = _per_system_fig("fig08")
+fig09 = _per_system_fig("fig09")
+fig10 = _per_system_fig("fig10")
+fig11 = _per_system_fig("fig11")
+fig12 = _linear_grid_fig("fig12")
+fig13 = _linear_grid_fig("fig13")
+fig14 = _per_size_fig("fig14")
+fig15 = _per_size_fig("fig15")
+fig16 = _per_system_fig("fig16")
+fig17 = _per_system_fig("fig17")
 
-
-# --------------------------------------------------------------- Figures 4–7
-def fig04(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling method: CPU availability vs poll interval (Portals)."""
-    return FigureData(
-        "fig04", "Polling Method: CPU Availability (Portals)",
-        "Poll Interval (loop iterations)", "CPU Availability (fraction to user)",
-        _poll_curves(portals_system(), sizes, "availability", per_decade,
-                     executor=executor),
-        notes="Low, stable plateau while messages flow (interrupt overhead); "
-              "steep climb once the poll interval stalls the message flow.",
-    )
-
-
-def fig05(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling method: bandwidth vs poll interval (Portals)."""
-    return FigureData(
-        "fig05", "Polling Method: Bandwidth (Portals)",
-        "Poll Interval (loop iterations)", "Bandwidth (MB/s)",
-        _poll_curves(portals_system(), sizes, "bandwidth_MBps", per_decade,
-                     executor=executor),
-        notes="Plateau of maximum sustained bandwidth, then steep decline "
-              "when all in-flight messages complete within one interval.",
-    )
-
-
-def fig06(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW method: CPU availability vs work interval (Portals)."""
-    return FigureData(
-        "fig06", "PWW Method: CPU Availability (Portals)",
-        "Work Interval (loop iterations)", "CPU Availability (fraction to user)",
-        _pww_curves(portals_system(), sizes, "availability", per_decade,
-                    lo=1e4, hi=1e7, executor=executor),
-        notes="No low plateau: the wait phase suppresses availability until "
-              "the work interval fills the delay (paper §4).",
-    )
-
-
-def fig07(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW method: bandwidth vs work interval (Portals)."""
-    return FigureData(
-        "fig07", "PWW Method: Bandwidth (Portals)",
-        "Work Interval (loop iterations)", "Bandwidth (MB/s)",
-        _pww_curves(portals_system(), sizes, "bandwidth_MBps", per_decade,
-                    lo=1e3, hi=1e8, executor=executor),
-        notes="More gradual decline than the polling method.",
-    )
-
-
-# -------------------------------------------------------------- Figures 8–11
-def _gm_vs_portals(
-    method: str, y_attr: str, per_decade: int, msg_bytes: int,
-    lo: float, hi: float,
-    executor: Optional[SweepExecutor] = None,
-) -> List[Curve]:
-    grid = log_intervals(lo, hi, per_decade)
-    curves = []
-    for system in (gm_system(), portals_system()):
-        if method == "polling":
-            series = polling_sweep(system, msg_bytes, grid, executor=executor)
-            x_attr = "poll_interval_iters"
-        else:
-            series = pww_sweep(system, msg_bytes, grid, executor=executor)
-            x_attr = "work_interval_iters"
-        curves.append(Curve(system.name, series.xs(x_attr), series.xs(y_attr)))
-    return curves
-
-
-def fig08(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling bandwidth: GM vs Portals."""
-    return FigureData(
-        "fig08", "Polling Method: Bandwidth for GM and Portals",
-        "Poll Interval (loop iterations)", "Bandwidth (MB/s)",
-        _gm_vs_portals("polling", "bandwidth_MBps", per_decade, msg_bytes,
-                       1e1, 1e8, executor=executor),
-        notes="GM (OS-bypass, no interrupts/copies) sustains significantly "
-              "higher bandwidth than kernel Portals on identical hardware.",
-    )
-
-
-def fig09(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW bandwidth: GM vs Portals."""
-    return FigureData(
-        "fig09", "PWW Method: Bandwidth for GM and Portals",
-        "Work Interval (loop iterations)", "Bandwidth (MB/s)",
-        _gm_vs_portals("pww", "bandwidth_MBps", per_decade, msg_bytes,
-                       1e4, 1e7, executor=executor),
-        notes="GM wins at small work intervals; curves converge once the "
-              "work interval dominates the cycle.",
-    )
-
-
-def fig10(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW average post time per message: GM vs Portals."""
-    curves = _gm_vs_portals("pww", "post_per_msg_s", per_decade, msg_bytes,
-                            1e4, 1e7, executor=executor)
-    for c in curves:
-        c.y = [v * 1e6 for v in c.y]
-    return FigureData(
-        "fig10", "PWW Method: Average Post Time (100 KB)",
-        "Work Interval (loop iterations)", "Time to Post (us)", curves,
-        notes="Portals posts trap into the kernel; GM posts are user-level "
-              "descriptor writes.",
-    )
-
-
-def fig11(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW average wait time: GM vs Portals (the offload signature)."""
-    curves = _gm_vs_portals("pww", "wait_s", per_decade, msg_bytes, 1e4, 1e7,
-                            executor=executor)
-    for c in curves:
-        c.y = [v * 1e6 for v in c.y]
-    return FigureData(
-        "fig11", "PWW Method: Average Wait Time (100 KB)",
-        "Work Interval (loop iterations)", "Time Per Message (us)", curves,
-        notes="Given a large enough work interval Portals virtually completes "
-              "messaging (application offload) whereas GM does not.",
-    )
-
-
-# ------------------------------------------------------------- Figures 12–13
-def _overhead_curves(system: SystemConfig, msg_bytes: int,
-                     grid: Sequence[int],
-                     executor: Optional[SweepExecutor] = None) -> List[Curve]:
-    series = pww_sweep(system, msg_bytes, grid, executor=executor)
-    xs = series.xs("work_interval_iters")
-    return [
-        Curve("Work with MH", xs, [p.work_s * 1e6 for p in series]),
-        Curve("Work Only", xs, [p.work_dry_s * 1e6 for p in series]),
-    ]
-
-
-_LINEAR_GRID = tuple(range(25_000, 500_001, 47_500))
-
-
-def fig12(msg_bytes: int = 100 * 1024,
-          grid: Sequence[int] = _LINEAR_GRID,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW CPU overhead for Portals: work-phase time with vs without
-    message handling."""
-    return FigureData(
-        "fig12", "PWW Method: CPU Overhead for Portals",
-        "Work Interval (loop iterations)", "Average Time Per Message (us)",
-        _overhead_curves(portals_system(), msg_bytes, grid, executor=executor),
-        xscale="linear",
-        notes="The gap is the overhead of interrupts processing Portals "
-              "messages during the work phase.",
-    )
-
-
-def fig13(msg_bytes: int = 100 * 1024,
-          grid: Sequence[int] = _LINEAR_GRID,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """PWW CPU overhead for GM: no gap (message handling is blocked)."""
-    return FigureData(
-        "fig13", "PWW Method: CPU Overhead for GM",
-        "Work Interval (loop iterations)", "Average Time Per Message (us)",
-        _overhead_curves(gm_system(), msg_bytes, grid, executor=executor),
-        xscale="linear",
-        notes="Work takes the same time with or without communication: GM "
-              "steals no cycles — but also moves no data — during the work "
-              "phase.",
-    )
-
-
-# ------------------------------------------------------------- Figures 14–17
-def _bw_vs_avail(system: SystemConfig, sizes: Sequence[int],
-                 per_decade: int,
-                 executor: Optional[SweepExecutor] = None) -> List[Curve]:
-    grid = log_intervals(1e1, 1e8, per_decade)
-    curves = []
-    for size_bytes in sizes:
-        series = polling_sweep(system, size_bytes, grid, executor=executor)
-        curves.append(Curve(
-            _size_label(size_bytes),
-            series.xs("availability"),
-            series.xs("bandwidth_MBps"),
-        ))
-    return curves
-
-
-def fig14(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling: bandwidth vs availability for GM."""
-    return FigureData(
-        "fig14", "Polling Method: Bandwidth Versus CPU Overhead for GM",
-        "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        _bw_vs_avail(gm_system(), sizes, per_decade, executor=executor),
-        xscale="linear",
-        notes="Maximum sustained bandwidth with virtually all CPU cycles "
-              "left to the application — except 10 KB, whose eager sends "
-              "cost ~45 µs of host CPU each.",
-    )
-
-
-def fig15(per_decade: int = 2, sizes: Sequence[int] = PAPER_SIZES,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling: bandwidth vs availability for Portals."""
-    return FigureData(
-        "fig15", "Polling Method: Bandwidth Versus CPU Overhead for Portals",
-        "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        _bw_vs_avail(portals_system(), sizes, per_decade, executor=executor),
-        xscale="linear",
-        notes="Communication overhead restricts maximum sustained bandwidth "
-              "to the lower ranges of CPU availability.",
-    )
-
-
-def fig16(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Polling vs PWW bandwidth-availability trade-off for GM."""
-    system = gm_system()
-    poll = polling_sweep(system, msg_bytes, log_intervals(1e1, 1e8, per_decade),
-                         executor=executor)
-    pww = pww_sweep(system, msg_bytes, log_intervals(1e3, 1e8, per_decade),
-                    executor=executor)
-    return FigureData(
-        "fig16", "Polling and PWW Method: Bandwidth for GM",
-        "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        [
-            Curve("Poll", poll.xs("availability"), poll.xs("bandwidth_MBps")),
-            Curve("PWW", pww.xs("availability"), pww.xs("bandwidth_MBps")),
-        ],
-        xscale="linear",
-        notes="Without application offload, PWW bandwidth collapses as "
-              "availability rises; polling sustains it.",
-    )
-
-
-def fig17(per_decade: int = 2, msg_bytes: int = 100 * 1024,
-          executor: Optional[SweepExecutor] = None) -> FigureData:
-    """Fig 16 plus the PWW + MPI_Test variant (§4.3)."""
-    base = fig16(per_decade, msg_bytes, executor=executor)
-    system = gm_system()
-    test_cfg = PwwConfig(msg_bytes=msg_bytes, tests_in_work=1)
-    pww_t = pww_sweep(system, msg_bytes, log_intervals(1e3, 1e8, per_decade),
-                      base=test_cfg, executor=executor)
-    curves = [base.curve("Poll"),
-              Curve("PWW + Test", pww_t.xs("availability"),
-                    pww_t.xs("bandwidth_MBps")),
-              base.curve("PWW")]
-    return FigureData(
-        "fig17", "Polling and Modified PWW Method: Bandwidth for GM",
-        "CPU Available to User (fraction of time)", "Bandwidth (MB/s)",
-        curves,
-        xscale="linear",
-        notes="One MPI_Test inserted early in the work phase lets the "
-              "library launch the rendezvous data transfer, extending "
-              "sustained bandwidth into higher availabilities.",
-    )
-
-
-#: All figure generators, keyed by id.
+#: All paper-figure generators, keyed by id.  Registry-only variants
+#: (``fig04_ci`` …) are resolved by ``repro.analysis.report.run_figure``
+#: straight from ``FIGURE_SPECS`` and deliberately kept out of this
+#: default report grid.
 ALL_FIGURES: Dict[str, Callable[..., FigureData]] = {
     "fig04": fig04, "fig05": fig05, "fig06": fig06, "fig07": fig07,
     "fig08": fig08, "fig09": fig09, "fig10": fig10, "fig11": fig11,

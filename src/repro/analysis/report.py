@@ -9,6 +9,7 @@ from ..core.executor import SweepExecutor, use_executor
 from .ascii_plot import render
 from .claims import ALL_CLAIMS, ClaimResult
 from .figures import ALL_FIGURES, FigureData
+from .registry import FIGURE_SPECS, build_figure
 from .scaling import SCALING_CLAIMS, SCALING_FIGURES
 
 
@@ -35,16 +36,28 @@ def run_figure(fig_id: str, per_decade: int = 2,
     serial reference path.
     """
     generator = ALL_FIGURES.get(fig_id) or SCALING_FIGURES.get(fig_id)
-    if generator is None:
-        known = sorted(ALL_FIGURES) + sorted(SCALING_FIGURES)
+    if generator is None and fig_id not in FIGURE_SPECS:
+        known = sorted(ALL_FIGURES) + sorted(SCALING_FIGURES) + sorted(
+            f for f in FIGURE_SPECS
+            if f not in ALL_FIGURES and f not in SCALING_FIGURES
+        )
         raise KeyError(f"unknown figure {fig_id!r}; have {known}")
     with use_executor(executor):
-        if fig_id in ("fig12", "fig13"):
+        if generator is None:
+            # Registry-only entry (e.g. a CI-band variant): interpret
+            # the spec directly.
+            fig = build_figure(FIGURE_SPECS[fig_id], per_decade=per_decade,
+                               **kwargs)
+        elif fig_id in ("fig12", "fig13"):
             fig = generator(**kwargs)  # linear grids take no per_decade
         else:
             fig = generator(per_decade=per_decade, **kwargs)
-    checker = ALL_CLAIMS.get(fig_id) or SCALING_CLAIMS[fig_id]
-    claims = checker(fig)
+    claims_id = fig_id
+    spec = FIGURE_SPECS.get(fig_id)
+    if spec is not None and spec.claims_id:
+        claims_id = spec.claims_id  # CI variants inherit base claims
+    checker = ALL_CLAIMS.get(claims_id) or SCALING_CLAIMS.get(claims_id)
+    claims = checker(fig) if checker is not None else []
     return FigureReport(fig, claims)
 
 

@@ -8,6 +8,12 @@ Progress Rule penalty compounds with neighbour count, while an offloaded
 transport's availability should survive scale — and the claim checkers
 pin exactly that.
 
+The figures themselves are :data:`~repro.analysis.registry.FIGURE_SPECS`
+entries (``scale_halo``, ``scale_allreduce``); this module keeps their
+historical wrapper signatures, the reusable sweep helpers
+(:func:`pattern_tasks` / :func:`pattern_scaling`), and the claim
+checkers.
+
 Not part of the default ``comb report`` grid (the paper has no such
 figure); run them explicitly::
 
@@ -16,86 +22,16 @@ figure); run them explicitly::
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
-from ..config import SystemConfig, gm_system, portals_system
-from ..core.executor import PointTask, SweepExecutor, current_executor
-from ..patterns.config import PatternConfig
-from ..patterns.results import PatternPoint
 from .claims import ClaimResult
-from .figures import Curve, FigureData
+from .registry import (DEFAULT_RANK_COUNTS, FIGURE_SPECS, KB, FigureData,
+                       build_figure, pattern_scaling, pattern_tasks)
 
-KB = 1024
-
-#: Default rank-count axis: two-node (the paper's world) up to a
-#: two-edge-switch fat-tree's worth.
-DEFAULT_RANK_COUNTS = (2, 4, 8, 16)
-
-
-def pattern_tasks(
-    system: SystemConfig,
-    pattern: str,
-    rank_counts: Sequence[int],
-    topology: str = "crossbar",
-    base: Optional[PatternConfig] = None,
-) -> List[PointTask]:
-    """Task records for a rank-count sweep of one pattern."""
-    base = base or PatternConfig()
-    return [
-        PointTask(
-            "pattern",
-            system,
-            dataclasses.replace(base, pattern=pattern, ranks=int(n),
-                                topology=topology),
-        )
-        for n in rank_counts
-    ]
-
-
-def pattern_scaling(
-    system: SystemConfig,
-    pattern: str,
-    rank_counts: Sequence[int],
-    topology: str = "crossbar",
-    base: Optional[PatternConfig] = None,
-    label: Optional[str] = None,
-    executor: Optional[SweepExecutor] = None,
-) -> Curve:
-    """Availability-vs-ranks curve for one (system, topology) pair."""
-    ex = current_executor(executor)
-    points: List[PatternPoint] = ex.run(
-        pattern_tasks(system, pattern, rank_counts, topology, base)
-    )
-    return Curve(
-        label=label or f"{system.name} ({topology})",
-        x=[float(n) for n in rank_counts],
-        y=[pt.availability for pt in points],
-    )
-
-
-def _scaling_figure(
-    fig_id: str,
-    title: str,
-    pattern: str,
-    rank_counts: Sequence[int],
-    base: PatternConfig,
-) -> FigureData:
-    curves = [
-        pattern_scaling(system, pattern, rank_counts, topology, base)
-        for system in (gm_system(), portals_system())
-        for topology in ("crossbar", "fattree")
-    ]
-    return FigureData(
-        fig_id=fig_id,
-        title=title,
-        xlabel="ranks",
-        ylabel="CPU availability (median across ranks)",
-        curves=curves,
-        xscale="log",
-        notes=f"pattern={pattern}, {base.msg_bytes // KB} KB, "
-        f"work interval {base.work_interval_iters} iters",
-    )
+__all__ = [
+    "DEFAULT_RANK_COUNTS", "KB", "SCALING_CLAIMS", "SCALING_FIGURES",
+    "pattern_scaling", "pattern_tasks", "scale_halo", "scale_allreduce",
+]
 
 
 def scale_halo(per_decade: int = 1,
@@ -104,12 +40,9 @@ def scale_halo(per_decade: int = 1,
                work_interval_iters: int = 1_000_000) -> FigureData:
     """2D halo-exchange availability vs rank count, both fabrics."""
     del per_decade  # the rank-count axis is explicit, not log-gridded
-    base = PatternConfig(msg_bytes=msg_bytes,
-                         work_interval_iters=work_interval_iters)
-    return _scaling_figure(
-        "scale_halo", "Halo-exchange availability scaling", "halo2d",
-        rank_counts, base,
-    )
+    return build_figure(FIGURE_SPECS["scale_halo"], rank_counts=rank_counts,
+                        msg_bytes=msg_bytes,
+                        work_interval_iters=work_interval_iters)
 
 
 def scale_allreduce(per_decade: int = 1,
@@ -118,12 +51,9 @@ def scale_allreduce(per_decade: int = 1,
                     work_interval_iters: int = 1_000_000) -> FigureData:
     """Binomial-allreduce availability vs rank count, both fabrics."""
     del per_decade
-    base = PatternConfig(msg_bytes=msg_bytes,
-                         work_interval_iters=work_interval_iters)
-    return _scaling_figure(
-        "scale_allreduce", "Allreduce availability scaling", "allreduce",
-        rank_counts, base,
-    )
+    return build_figure(FIGURE_SPECS["scale_allreduce"],
+                        rank_counts=rank_counts, msg_bytes=msg_bytes,
+                        work_interval_iters=work_interval_iters)
 
 
 def _check_scaling(fig: FigureData) -> List[ClaimResult]:

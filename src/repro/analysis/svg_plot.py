@@ -94,6 +94,10 @@ def render_svg(fig: FigureData) -> str:
           if fig.xscale != "log" or x > 0]
     ys = [y for c in fig.curves for y in c.y
           if fig.yscale != "log" or y > 0]
+    # CI bands participate in the y range so they never clip.
+    ys += [y for c in fig.curves if c.y_lo is not None and c.y_hi is not None
+           for y in list(c.y_lo) + list(c.y_hi)
+           if fig.yscale != "log" or y > 0]
     if not xs or not ys:
         return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
                 f'height="{HEIGHT}"><text x="20" y="40">'
@@ -163,6 +167,26 @@ def render_svg(fig: FigureData) -> str:
     # Curves.
     for i, curve in enumerate(fig.curves):
         color = COLORS[i % len(COLORS)]
+        # Replication CI band: a shaded polygon under the polyline
+        # (upper edge forward, lower edge reversed).
+        if curve.y_lo is not None and curve.y_hi is not None:
+            band: List[Tuple[float, float]] = []
+            for x, y in zip(curve.x, curve.y_hi):
+                px, py = x_axis.to_pix(x), y_axis.to_pix(y)
+                if px is not None and py is not None:
+                    band.append((px, py))
+            lower: List[Tuple[float, float]] = []
+            for x, y in zip(curve.x, curve.y_lo):
+                px, py = x_axis.to_pix(x), y_axis.to_pix(y)
+                if px is not None and py is not None:
+                    lower.append((px, py))
+            band.extend(reversed(lower))
+            if len(band) >= 3:
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in band)
+                parts.append(
+                    f'<polygon points="{path}" fill="{color}" '
+                    f'fill-opacity="0.15" stroke="none"/>'
+                )
         pts: List[Tuple[float, float]] = []
         for x, y in zip(curve.x, curve.y):
             px, py = x_axis.to_pix(x), y_axis.to_pix(y)

@@ -115,6 +115,19 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="attach the observability layer and write a metrics.json "
         "sidecar next to the results (values are unchanged)",
     )
+    parser.add_argument(
+        "--reps", type=_positive_int, default=1, metavar="N",
+        help="replicates per sweep point on named RNG substreams "
+        "(default: 1, the bit-identical single-shot path); aggregated "
+        "points carry median/CI replication summaries and figures "
+        "render CI bands",
+    )
+    parser.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="adaptive stopping: stop replicating a point once its "
+        "availability bootstrap CI is at most this wide (cap: --reps); "
+        "default: fixed --reps design",
+    )
     _add_check_flag(parser)
 
 
@@ -129,7 +142,8 @@ def _add_check_flag(parser: argparse.ArgumentParser) -> None:
 def _make_executor(args: argparse.Namespace, metrics=None) -> SweepExecutor:
     cache = None if args.no_cache else PointCache(args.cache_dir)
     return SweepExecutor(jobs=args.jobs, cache=cache, check=args.check,
-                         metrics=metrics)
+                         metrics=metrics, reps=getattr(args, "reps", 1),
+                         ci_width=getattr(args, "ci_width", None))
 
 
 def _maybe_observer(args: argparse.Namespace):
@@ -171,6 +185,22 @@ def _report_violations(violations) -> int:
     for v in violations:
         print(f"  [{v.monitor}/{v.kind}] t={v.time:.9f} {v.detail}",
               file=sys.stderr)
+    return 1
+
+
+def _report_disagreements(disagreements) -> int:
+    """Print replica-disagreement diagnostics; return the exit code.
+
+    Silent when empty: single-shot runs and clean replicated runs never
+    see this output.
+    """
+    if not disagreements:
+        return 0
+    print(f"replication: {len(disagreements)} replica disagreement(s) — "
+          "bit-level divergence across RNG substreams on deterministic "
+          "inputs (determinism bug)", file=sys.stderr)
+    for d in disagreements:
+        print(f"  {d.detail}", file=sys.stderr)
     return 1
 
 
@@ -609,8 +639,9 @@ def _run_bench(args: argparse.Namespace) -> int:
 
         report = compare_history(out_dir)
         if report is None:
-            print(f"compare: fewer than {DEFAULT_MIN_RECORDS + 1} BENCH "
-                  f"records in {out_dir}; nothing to judge yet")
+            print(f"compare: insufficient history — fewer than "
+                  f"{DEFAULT_MIN_RECORDS + 1} BENCH records in {out_dir}; "
+                  f"nothing to judge yet")
         else:
             print(f"compare: {path.name} vs the trajectory's older records")
             print(report.format())
@@ -642,8 +673,12 @@ def _run_compare_runs(args: argparse.Namespace) -> int:
         report = compare_history(runs[0], min_rel=min_rel,
                                  min_records=min_records)
         if report is None:
-            print(f"compare: fewer than {min_records + 1} BENCH records in "
-                  f"{runs[0]}; nothing to judge yet (not a failure)")
+            # Degenerate histories (a single record, or --min-records 0
+            # against one) are "insufficient history", never judged
+            # against an empty/zero-width baseline.
+            print(f"compare: insufficient history — fewer than "
+                  f"{max(min_records, 1) + 1} BENCH records in {runs[0]}; "
+                  f"nothing to judge yet (not a failure)")
             return 0
         print(f"compare: newest record in {runs[0]} vs all older records")
     elif len(runs) == 2:
@@ -781,6 +816,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for c in rep.claims:
                 mark = "PASS" if c.ok else "FAIL"
                 print(f"  [{mark}] {c.claim} ({c.detail})")
+        if _report_disagreements(executor.disagreements):
+            return 1
         if args.check:
             return _report_violations(executor.violations)
         return 0
@@ -866,6 +903,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ):
                 return 1
         print(format_report(reports))
+        if _report_disagreements(executor.disagreements):
+            return 1
         if args.check and _report_violations(executor.violations):
             return 1
         return 0 if all(r.ok for r in reports) else 1

@@ -52,6 +52,14 @@ from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 from ..patterns.config import PatternConfig
 from ..patterns.results import PatternPoint
 from ..patterns.runner import run_pattern
+from ..stats import (
+    Disagreement,
+    StoppingRule,
+    find_disagreements,
+    is_stochastic,
+    replicate_system,
+    summarize_replicates,
+)
 from .accounting import drain_events
 from .polling import PollingConfig, run_polling
 from .pww import PwwConfig, run_pww
@@ -66,6 +74,17 @@ DEFAULT_CACHE_DIR = ".comb_cache"
 #: Bump to invalidate every existing cache record regardless of source
 #: hashing (e.g. when the *record format* below changes).
 CACHE_SCHEMA_VERSION = 1
+
+#: Replicates-per-point histogram buckets (adaptive designs are small).
+_REPLICATE_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Stopping reason → metric counter name (static names keep the metric
+#: namespace enumerable).
+_STOP_COUNTERS = {
+    "ci_width": "executor.replication.stop.ci_width",
+    "max_reps": "executor.replication.stop.max_reps",
+    "fixed": "executor.replication.stop.fixed",
+}
 
 #: Method kind → (config type, runner, result type).
 _METHODS = {
@@ -345,6 +364,19 @@ class SweepExecutor:
         histograms, per-point simulation wall times, and worker fan-out
         utilization per batch.  ``None`` (default) skips all wall-clock
         reads — the unprofiled path takes no timestamps at all.
+    reps:
+        Replicate cap per sweep point.  ``1`` (default) is the classic
+        single-shot path, bit-identical to the pre-replication executor.
+        ``N > 1`` runs each point as replicated sub-runs on named RNG
+        substreams (replicate 0 keeps the root seed and therefore the
+        single-shot cache key) and returns one aggregated point per task
+        carrying a ``replication`` summary.
+    ci_width:
+        Adaptive stopping tolerance: with ``reps > 1``, stop replicating
+        a point once the bootstrap CI of its availability is at most
+        this wide (never exceeding the ``reps`` cap).  ``None``
+        (default) runs the fixed design of exactly ``reps`` replicates.
+        Ignored when ``reps == 1``.
     """
 
     def __init__(
@@ -354,9 +386,13 @@ class SweepExecutor:
         memoize: bool = True,
         check: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        reps: int = 1,
+        ci_width: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if reps < 1:
+            raise ValueError("reps must be >= 1")
         self.jobs = jobs
         if cache is not None and not isinstance(cache, PointCache):
             cache = PointCache(cache)
@@ -364,9 +400,14 @@ class SweepExecutor:
         self.memoize = memoize
         self.check = check
         self.metrics = metrics
+        self.reps = reps
+        self.ci_width = ci_width
         self.stats = CacheStats()
         #: Violations collected from checked simulations (``check=True``).
         self.violations: List[Any] = []
+        #: Replica disagreements: deterministic points whose replicates
+        #: diverged bit-level — sanitizer escapes (see ``repro.stats``).
+        self.disagreements: List[Disagreement] = []
         self._memo: Dict[str, Any] = {}
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_size = 0
@@ -401,13 +442,32 @@ class SweepExecutor:
         return self._pool
 
     # ------------------------------------------------------------- execution
-    def run(self, tasks: Sequence[PointTask]) -> List[Any]:
+    def run(
+        self,
+        tasks: Sequence[PointTask],
+        reps: Optional[int] = None,
+        ci_width: Optional[float] = None,
+    ) -> List[Any]:
         """Run every task, returning points in task order.
 
         Cache/memo hits are returned as fresh copies (no aliasing between
         calls); misses are simulated — in parallel when ``jobs > 1`` —
         and written back to the cache.
+
+        ``reps`` / ``ci_width`` override the executor-level replication
+        settings for this batch.  With an effective ``reps > 1`` each
+        task becomes a replicated measurement (see
+        :meth:`_run_replicated`); otherwise this is the single-shot path,
+        byte-for-byte the pre-replication executor.
         """
+        eff_reps = self.reps if reps is None else reps
+        eff_ci = self.ci_width if ci_width is None else ci_width
+        if eff_reps > 1:
+            return self._run_replicated(list(tasks), eff_reps, eff_ci)
+        return self._run_base(tasks)
+
+    def _run_base(self, tasks: Sequence[PointTask]) -> List[Any]:
+        """Single-shot execution: one simulation (or cache hit) per task."""
         salt = code_salt()
         lookup = self._lookup if self.metrics is None else self._lookup_profiled
         results: List[Any] = [None] * len(tasks)
@@ -441,6 +501,111 @@ class SweepExecutor:
     def run_one(self, task: PointTask) -> Point:
         """Convenience wrapper: run a single task."""
         return self.run([task])[0]
+
+    # ----------------------------------------------------------- replication
+    @staticmethod
+    def _replicate_task(task: PointTask, index: int) -> PointTask:
+        """``task`` reseeded for replicate ``index``.
+
+        Replicate 0 is the task itself — same seed, same cache key — so
+        warm single-shot caches feed replicated runs and vice versa.
+        """
+        if index == 0:
+            return task
+        return dataclasses.replace(
+            task, system=replicate_system(task.system, index)
+        )
+
+    def _run_replicated(
+        self, tasks: List[PointTask], reps: int, ci_width: Optional[float]
+    ) -> List[Any]:
+        """Run each task as replicated sub-runs on named RNG substreams.
+
+        Rounds of replicates are batched *across* points (one
+        :meth:`_run_base` call per round) so the worker pool stays full
+        even in adaptive designs.  Raw replicate points are cached
+        individually by :meth:`_run_base`; the aggregated points returned
+        here (replicate 0 plus a ``replication`` summary) are recomputed
+        per run and never cached, so two invocations over the same cache
+        report identical summaries.
+        """
+        rule = StoppingRule(max_reps=reps, ci_width=ci_width)
+        results: List[Any] = [None] * len(tasks)
+        first_for_key: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        active: List[Tuple[int, PointTask]] = []
+        salt = code_salt()
+        for i, task in enumerate(tasks):
+            key = task_key(task, salt)
+            if key in first_for_key:
+                duplicates.append((i, first_for_key[key]))
+                continue
+            first_for_key[key] = i
+            active.append((i, task))
+
+        samples: Dict[int, List[Any]] = {i: [] for i, _task in active}
+        while active:
+            batch: List[PointTask] = []
+            owners: List[int] = []
+            for i, task in active:
+                have = len(samples[i])
+                target = rule.initial_reps if have == 0 else have + 1
+                for r in range(have, target):
+                    batch.append(self._replicate_task(task, r))
+                    owners.append(i)
+            for owner, point in zip(owners, self._run_base(batch)):
+                samples[owner].append(point)
+            still: List[Tuple[int, PointTask]] = []
+            for i, task in active:
+                verdict = rule.decide(
+                    [p.availability for p in samples[i]]
+                )
+                if verdict is None:
+                    still.append((i, task))
+                else:
+                    results[i] = self._aggregate(task, samples[i], verdict)
+            active = still
+        for i, j in duplicates:
+            results[i] = dataclasses.replace(results[j])
+        return results
+
+    def _aggregate(
+        self, task: PointTask, points: Sequence[Any], reason: str
+    ) -> Any:
+        """Fold one point's replicates into replicate 0 + summary.
+
+        On deterministic systems every replicate must reproduce replicate
+        0 bit for bit; divergences are recorded in
+        :attr:`disagreements`.  Stochastic systems (fault injection
+        armed) skip the check — their replicates legitimately differ and
+        carry genuine CIs instead.
+        """
+        docs = [p.to_dict() for p in points]
+        n_disagreements = 0
+        if not is_stochastic(task.system):
+            for index, fields in find_disagreements(docs):
+                n_disagreements += 1
+                self.disagreements.append(Disagreement(
+                    kind=task.kind,
+                    system=task.system.name,
+                    replicate_index=index,
+                    fields=fields,
+                ))
+        summary = summarize_replicates(
+            docs, reason, disagreements=n_disagreements
+        )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("executor.replicates").inc(len(points))
+            metrics.histogram(
+                "executor.replicates_per_point", _REPLICATE_BUCKETS
+            ).observe(float(len(points)))
+            metrics.counter(_STOP_COUNTERS[reason]).inc()
+            if n_disagreements:
+                metrics.counter("executor.replication.disagreements").inc(
+                    n_disagreements
+                )
+        return dataclasses.replace(points[0], replication=summary)
 
     # -------------------------------------------------------------- plumbing
     def _lookup(self, key: str, kind: str) -> Optional[Point]:

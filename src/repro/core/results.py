@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..sim.units import to_mbps
 
@@ -29,6 +29,11 @@ class PollingPoint:
     msgs: int
     #: Worker-side interrupt count delta (0 for OS-bypass transports).
     interrupts: int = 0
+    #: Replication summary (``repro.stats.summarize_replicates`` shape)
+    #: when this point aggregates replicated sub-runs; ``None`` for
+    #: single-shot points, and omitted from ``to_dict`` so seed exports
+    #: stay byte-identical.
+    replication: Optional[Dict[str, Any]] = None
 
     @property
     def bandwidth_MBps(self) -> float:
@@ -38,6 +43,8 @@ class PollingPoint:
     def to_dict(self) -> dict:
         """Plain-dict form (CSV/JSON export)."""
         d = asdict(self)
+        if d.get("replication") is None:
+            d.pop("replication", None)
         d["bandwidth_MBps"] = self.bandwidth_MBps
         return d
 
@@ -67,6 +74,8 @@ class PwwPoint:
     #: MPI_Test calls inserted in the work phase (Fig 17 variant).
     tests_in_work: int = 0
     interrupts: int = 0
+    #: Replication summary; see :class:`PollingPoint.replication`.
+    replication: Optional[Dict[str, Any]] = None
 
     @property
     def bandwidth_MBps(self) -> float:
@@ -86,6 +95,8 @@ class PwwPoint:
     def to_dict(self) -> dict:
         """Plain-dict form (CSV/JSON export)."""
         d = asdict(self)
+        if d.get("replication") is None:
+            d.pop("replication", None)
         d["bandwidth_MBps"] = self.bandwidth_MBps
         d["post_per_msg_s"] = self.post_per_msg_s
         d["overhead_s"] = self.overhead_s

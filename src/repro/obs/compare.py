@@ -259,7 +259,11 @@ def compare_history(
     Returns ``None`` when the directory holds fewer than
     ``min_records + 1`` records — callers should *skip cleanly* (exit
     0), which is what the CI sentinel job does while the committed
-    trajectory is still short.
+    trajectory is still short.  ``min_records`` is clamped to at least 1
+    here: a single-record history has no baseline at all, and judging
+    the newest record against an empty sample set would produce
+    degenerate (zero-width) confidence intervals, so even
+    ``min_records=0`` reports insufficient history instead.
     """
     records: List[Tuple[int, Path]] = []
     for path in history_dir.glob("BENCH_*.json"):
@@ -267,7 +271,7 @@ def compare_history(
         if stem_n.isdigit():
             records.append((int(stem_n), path))
     records.sort()
-    if len(records) < min_records + 1:
+    if len(records) < max(min_records, 1) + 1:
         return None
     *older, (_, newest) = records
     baseline: Dict[str, List[float]] = {}

@@ -9,7 +9,7 @@ stay bit-identical to a fresh simulation.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..sim.units import to_mbps
 
@@ -66,6 +66,11 @@ class PatternPoint:
     interrupts: int = 0
     #: Allreduce algorithm (empty for non-collective patterns).
     algorithm: str = ""
+    #: Replication summary (``repro.stats.summarize_replicates`` shape)
+    #: when this point aggregates replicated sub-runs; ``None`` for
+    #: single-shot points, and omitted from ``to_dict`` so seed exports
+    #: stay byte-identical.
+    replication: Optional[Dict[str, Any]] = None
 
     @property
     def bandwidth_MBps(self) -> float:
@@ -90,6 +95,8 @@ class PatternPoint:
     def to_dict(self) -> Dict:
         """Plain-dict form (CSV/JSON export)."""
         d = asdict(self)
+        if d.get("replication") is None:
+            d.pop("replication", None)
         d["bandwidth_MBps"] = self.bandwidth_MBps
         d["availability_min"] = self.availability_min
         d["availability_max"] = self.availability_max

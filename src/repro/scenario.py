@@ -25,6 +25,17 @@ Supported experiment kinds: ``polling`` (sweep over ``intervals``),
 ``pattern`` names halo2d/halo3d/sweep/allreduce, sweeping ``ranks`` over
 ``rank_counts`` on a named ``topology``).  Extra per-point options go
 under ``config`` and feed the corresponding Config dataclass.
+
+A top-level ``"replication"`` object requests replicated measurement
+for the point-producing kinds (polling/pww/pattern)::
+
+    {"replication": {"reps": 5, "ci_width": 0.02}, ...}
+
+Each point then runs as up to ``reps`` sub-runs on named RNG substreams
+(optionally stopping early once the availability CI is at most
+``ci_width`` wide) and its result dict carries a ``replication``
+summary.  Without the key — or with ``reps: 1`` — the scenario takes
+the direct single-shot path, bit-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from .baselines import run_netperf, run_pingpong
 from .config import PRESETS, SystemConfig, get_system
 from .core import CombSuite, PollingConfig, PwwConfig, run_polling, run_pww
+from .core.executor import PointTask, SweepExecutor
 from .patterns import PatternConfig, run_pattern
 
 KB = 1024
@@ -97,10 +109,22 @@ def _replace_path(obj, parts: List[str], value):
     return dataclasses.replace(obj, **{field: child})
 
 
-def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
+def _run_experiment(
+    system: SystemConfig,
+    spec: Dict[str, Any],
+    executor: Optional[SweepExecutor] = None,
+) -> Dict:
     kind = spec.get("kind")
     msg_bytes = int(spec.get("msg_kb", 100) * KB)
     cfg_extra = dict(spec.get("config", {}))
+
+    def run_point(point_kind: str, cfg, direct) -> Dict:
+        # The direct path (no replication requested) is kept verbatim:
+        # its results are bit-identical to pre-replication scenarios.
+        if executor is None:
+            return direct(system, cfg).to_dict()
+        return executor.run_one(PointTask(point_kind, system, cfg)).to_dict()
+
     if kind == "polling":
         points = []
         for interval_iters in spec.get("intervals", [10_000]):
@@ -108,7 +132,7 @@ def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
                 msg_bytes=msg_bytes, poll_interval_iters=int(interval_iters),
                 **cfg_extra,
             )
-            points.append(run_polling(system, cfg).to_dict())
+            points.append(run_point("polling", cfg, run_polling))
         return {"kind": kind, "points": points}
     if kind == "pww":
         points = []
@@ -117,7 +141,7 @@ def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
                 msg_bytes=msg_bytes, work_interval_iters=int(interval_iters),
                 **cfg_extra,
             )
-            points.append(run_pww(system, cfg).to_dict())
+            points.append(run_point("pww", cfg, run_pww))
         return {"kind": kind, "points": points}
     if kind == "offload":
         verdict = CombSuite(system).offload_verdict(msg_bytes=msg_bytes)
@@ -156,9 +180,30 @@ def _run_experiment(system: SystemConfig, spec: Dict[str, Any]) -> Dict:
                 topology=spec.get("topology", "crossbar"),
                 **cfg_extra,
             )
-            points.append(run_pattern(system, cfg).to_dict())
+            points.append(run_point("pattern", cfg, run_pattern))
         return {"kind": kind, "points": points}
     raise ScenarioError(f"unknown experiment kind {kind!r}")
+
+
+def _replication_executor(spec: Dict[str, Any]) -> Optional[SweepExecutor]:
+    """Executor for the scenario's ``replication`` request (or ``None``)."""
+    rep_spec = spec.get("replication")
+    if rep_spec is None:
+        return None
+    if not isinstance(rep_spec, dict):
+        raise ScenarioError("'replication' must be an object")
+    try:
+        reps = int(rep_spec.get("reps", 1))
+    except (TypeError, ValueError):
+        raise ScenarioError("replication 'reps' must be an integer") from None
+    if reps < 1:
+        raise ScenarioError(f"replication 'reps' must be >= 1, got {reps}")
+    ci_width = rep_spec.get("ci_width")
+    if ci_width is not None:
+        ci_width = float(ci_width)
+    if reps == 1:
+        return None  # single-shot: keep the bit-identical direct path
+    return SweepExecutor(reps=reps, ci_width=ci_width)
 
 
 def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
@@ -167,10 +212,16 @@ def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
         spec = json.loads(Path(spec).read_text())
     if "systems" not in spec or "experiments" not in spec:
         raise ScenarioError("scenario needs 'systems' and 'experiments'")
+    executor = _replication_executor(spec)
     results: Dict[str, Any] = {
         "name": spec.get("name", "scenario"),
         "systems": [],
     }
+    if executor is not None:
+        results["replication"] = {
+            "reps": executor.reps,
+            "ci_width": executor.ci_width,
+        }
     for sys_spec in spec["systems"]:
         system = resolve_preset(sys_spec["preset"])
         overrides = sys_spec.get("overrides", {})
@@ -180,8 +231,13 @@ def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
         entry = {"label": label, "preset": sys_spec["preset"],
                  "experiments": []}
         for exp in spec["experiments"]:
-            entry["experiments"].append(_run_experiment(system, exp))
+            entry["experiments"].append(_run_experiment(system, exp,
+                                                        executor=executor))
         results["systems"].append(entry)
+    if executor is not None and executor.disagreements:
+        results["disagreements"] = [
+            d.detail for d in executor.disagreements
+        ]
     return results
 
 

@@ -1,0 +1,75 @@
+"""Statistical machinery for replicated experiment design.
+
+COMB's seed figures are single-shot point estimates; "MPI Benchmarking
+Revisited" (Hunold & Carpen-Amarie) argues benchmark claims need planned
+repetitions and variance-aware stopping.  This package supplies the
+pieces the :class:`~repro.core.executor.SweepExecutor` composes into a
+measurement instrument:
+
+* :class:`StreamingMoments` — Welford single-pass mean/variance/extrema
+  accumulation, with a parallel merge.
+* :func:`bootstrap_ci` — seeded percentile-bootstrap confidence interval
+  of the sample median.  Samples are sorted before resampling, so the
+  interval is invariant under replicate permutation and bit-identical
+  for a fixed seed.
+* :class:`StoppingRule` — run a minimum replicate batch, stop as soon as
+  the CI width meets the tolerance, never exceed the hard cap.
+* :func:`replicate_seed` / :func:`replicate_system` — named RNG
+  substream derivation per replicate.  Replicate 0 *is* the root stream,
+  so single-shot runs and replicate 0 share cache keys and bits.
+* :func:`find_disagreements` / :func:`summarize_replicates` — bit-level
+  cross-replicate comparison and the JSON-ready replication summary
+  attached to aggregated result points.
+
+Everything here is deterministic: same samples, same seed, same output.
+"""
+
+from .bootstrap import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RESAMPLES,
+    STATS_SEED,
+    bootstrap_ci,
+    interval_width,
+    sample_median,
+)
+from .moments import StreamingMoments
+from .replicate import (
+    REPLICATION_SCHEMA_VERSION,
+    Disagreement,
+    find_disagreements,
+    is_stochastic,
+    replicate_seed,
+    replicate_system,
+    replication_interval,
+    summarize_replicates,
+)
+from .stopping import (
+    DEFAULT_MIN_REPS,
+    STOP_CI_WIDTH,
+    STOP_FIXED,
+    STOP_MAX_REPS,
+    StoppingRule,
+)
+
+__all__ = [
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_MIN_REPS",
+    "DEFAULT_RESAMPLES",
+    "Disagreement",
+    "REPLICATION_SCHEMA_VERSION",
+    "STATS_SEED",
+    "STOP_CI_WIDTH",
+    "STOP_FIXED",
+    "STOP_MAX_REPS",
+    "StoppingRule",
+    "StreamingMoments",
+    "bootstrap_ci",
+    "find_disagreements",
+    "interval_width",
+    "is_stochastic",
+    "replicate_seed",
+    "replicate_system",
+    "replication_interval",
+    "sample_median",
+    "summarize_replicates",
+]

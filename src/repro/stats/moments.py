@@ -1,0 +1,83 @@
+"""Streaming moment accumulation (Welford's online algorithm).
+
+One accumulator per metric: constant memory however many replicates the
+stopping rule ends up requesting, and numerically stable where the naive
+sum-of-squares form cancels catastrophically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+@dataclass
+class StreamingMoments:
+    """Single-pass mean / variance / extrema over a stream of floats."""
+
+    n: int = 0
+    mean: float = 0.0
+    #: Sum of squared deviations from the running mean (Welford's M2).
+    m2: float = 0.0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def extend(self, values: Iterable[float]) -> "StreamingMoments":
+        """Fold a batch of samples; returns ``self`` for chaining."""
+        for value in values:
+            self.push(value)
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two accumulators (Chan et al. parallel update)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return self
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.n * other.n / total
+        self.mean += delta * other.n / total
+        self.n = total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self.m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready snapshot (empty accumulators report zero extrema)."""
+        return {
+            "n": float(self.n),
+            "mean": self.mean if self.n else 0.0,
+            "std": self.std,
+            "min": self.min_value if self.n else 0.0,
+            "max": self.max_value if self.n else 0.0,
+        }

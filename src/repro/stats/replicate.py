@@ -1,0 +1,184 @@
+"""Replicate seeding, disagreement detection, and replication summaries.
+
+**Substream seeding.** Replicate ``r`` of a sweep point runs on the same
+system with its root seed swapped for a named substream —
+``sha256("{seed}:replicate:{r}")`` — mirroring how
+:class:`~repro.sim.rng.RngRegistry` derives per-component streams from
+the root seed.  Replicate 0 keeps the root seed untouched: it *is* the
+single-shot run, shares its cache key, and makes ``reps=1`` bit-identical
+to the seed behavior.
+
+**Disagreement ⇒ determinism bug.** The simulator is fully deterministic
+unless fault injection is armed (``machine.fault.data_loss_rate > 0``,
+the suite's only stochastic knob — see :func:`is_stochastic`).  On a
+deterministic system, every replicate must therefore reproduce replicate
+0 bit for bit despite the different seed; any divergence means hidden
+state escaped the sanitizer and the lint rules — a determinism bug, not
+noise — and is flagged as a :class:`Disagreement`.  On a stochastic
+system replicates legitimately differ and the check is skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from .bootstrap import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RESAMPLES,
+    STATS_SEED,
+    bootstrap_ci,
+    sample_median,
+)
+from .moments import StreamingMoments
+
+#: Bump when the replication-summary dict shape changes.
+REPLICATION_SCHEMA_VERSION = 1
+
+
+def replicate_seed(root_seed: int, index: int) -> int:
+    """Root seed for replicate ``index`` of a run seeded ``root_seed``.
+
+    Index 0 returns ``root_seed`` unchanged — replicate 0 is the
+    single-shot run, cache key included.
+    """
+    if index < 0:
+        raise ValueError(f"replicate index must be >= 0, got {index}")
+    if index == 0:
+        return root_seed
+    digest = hashlib.sha256(
+        f"{root_seed}:replicate:{index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def replicate_system(system: SystemConfig, index: int) -> SystemConfig:
+    """``system`` reseeded for replicate ``index`` (0: unchanged)."""
+    if index == 0:
+        return system
+    return dataclasses.replace(
+        system, seed=replicate_seed(system.seed, index)
+    )
+
+
+def is_stochastic(system: SystemConfig) -> bool:
+    """Whether replicates of ``system`` may legitimately diverge."""
+    return system.machine.fault.data_loss_rate > 0.0
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One replicate that diverged from replicate 0 on a deterministic
+    system — a sanitizer escape, reported like an invariant violation."""
+
+    kind: str
+    system: str
+    replicate_index: int
+    fields: Tuple[str, ...]
+
+    @property
+    def detail(self) -> str:
+        return (
+            f"{self.kind}/{self.system}: replicate {self.replicate_index} "
+            f"diverged from replicate 0 on deterministic inputs "
+            f"(fields: {', '.join(self.fields)}) — determinism bug"
+        )
+
+
+def find_disagreements(
+    replicates: Sequence[Mapping[str, Any]],
+) -> List[Tuple[int, Tuple[str, ...]]]:
+    """Bit-level comparison of each replicate dict against replicate 0.
+
+    Returns ``(replicate_index, differing_field_names)`` pairs; empty
+    when every replicate reproduces replicate 0 exactly.  Compares every
+    field — including per-rank lists and counters — with exact equality.
+    """
+    if not replicates:
+        return []
+    base = replicates[0]
+    out: List[Tuple[int, Tuple[str, ...]]] = []
+    for index, rep in enumerate(replicates[1:], start=1):
+        differing = tuple(
+            name for name in base
+            if name not in rep or rep[name] != base[name]
+        ) + tuple(name for name in rep if name not in base)
+        if differing:
+            out.append((index, differing))
+    return out
+
+
+def _scalar_names(doc: Mapping[str, Any]) -> List[str]:
+    """Numeric (non-bool) field names of one replicate dict, in order."""
+    return [
+        name for name, value in doc.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    ]
+
+
+def summarize_replicates(
+    replicates: Sequence[Mapping[str, Any]],
+    stopping_reason: str,
+    disagreements: int = 0,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = STATS_SEED,
+) -> Dict[str, Any]:
+    """JSON-ready replication summary over per-replicate result dicts.
+
+    Every numeric field (including derived properties the point's
+    ``to_dict`` exports, e.g. ``bandwidth_MBps``) gets streaming moments
+    plus a seeded bootstrap CI of its median, so any figure's y-axis can
+    render bands.  Non-scalar fields (labels, per-rank lists) are
+    skipped.
+    """
+    if not replicates:
+        raise ValueError("summarize_replicates needs at least one replicate")
+    metrics: Dict[str, Dict[str, float]] = {}
+    for name in _scalar_names(replicates[0]):
+        values: List[float] = []
+        for doc in replicates:
+            value = doc.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(float(value))
+        if len(values) != len(replicates):
+            continue  # not a scalar on every replicate: skip
+        moments = StreamingMoments().extend(values)
+        ci_low, ci_high = bootstrap_ci(values, confidence=confidence,
+                                       resamples=resamples, seed=seed)
+        summary = moments.to_dict()
+        summary["median"] = sample_median(values)
+        summary["ci_low"] = ci_low
+        summary["ci_high"] = ci_high
+        metrics[name] = summary
+    return {
+        "schema": REPLICATION_SCHEMA_VERSION,
+        "reps": len(replicates),
+        "confidence": confidence,
+        "stopping_reason": stopping_reason,
+        "disagreements": disagreements,
+        "metrics": metrics,
+    }
+
+
+def replication_interval(
+    summary: Optional[Mapping[str, Any]], metric: str
+) -> Optional[Tuple[float, float]]:
+    """``(ci_low, ci_high)`` for ``metric`` out of a replication summary
+    dict, or ``None`` when the summary or the metric is absent."""
+    if not summary:
+        return None
+    metrics = summary.get("metrics")
+    if not isinstance(metrics, Mapping):
+        return None
+    entry = metrics.get(metric)
+    if not isinstance(entry, Mapping):
+        return None
+    lo = entry.get("ci_low")
+    hi = entry.get("ci_high")
+    if isinstance(lo, (int, float)) and isinstance(hi, (int, float)):
+        return float(lo), float(hi)
+    return None

@@ -1,0 +1,89 @@
+"""Variance-aware stopping rule with a hard replicate cap.
+
+The executor runs an initial replicate batch, then asks
+:meth:`StoppingRule.decide` after every completed replicate: stop when
+the bootstrap CI of the stopping metric is narrow enough, or when the
+hard cap is reached.  With no tolerance configured the design is *fixed*
+— exactly ``max_reps`` replicates, one decision.
+
+The rule is monotone in the tolerance: widening ``ci_width`` can only
+stop a sequence at the same replicate count or earlier, never later
+(property-tested in ``tests/test_stats_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .bootstrap import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RESAMPLES,
+    STATS_SEED,
+    interval_width,
+)
+
+#: Smallest adaptive batch: a CI over fewer samples is not a CI.
+DEFAULT_MIN_REPS = 3
+
+#: Stopping reasons, recorded per point in the replication summary.
+STOP_CI_WIDTH = "ci_width"
+STOP_MAX_REPS = "max_reps"
+STOP_FIXED = "fixed"
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When to stop replicating one sweep point.
+
+    Parameters
+    ----------
+    max_reps:
+        Hard replicate cap (and the whole design when ``ci_width`` is
+        ``None``).
+    ci_width:
+        Stop once the bootstrap CI of the stopping metric is at most
+        this wide.  ``None`` disables adaptivity (fixed design).
+    min_reps:
+        Replicates to run before the first adaptive decision (clamped
+        to ``max_reps``).
+    """
+
+    max_reps: int
+    ci_width: Optional[float] = None
+    min_reps: int = DEFAULT_MIN_REPS
+    confidence: float = DEFAULT_CONFIDENCE
+    resamples: int = DEFAULT_RESAMPLES
+    seed: int = STATS_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_reps < 1:
+            raise ValueError(f"max_reps must be >= 1, got {self.max_reps}")
+        if self.min_reps < 2:
+            raise ValueError(f"min_reps must be >= 2, got {self.min_reps}")
+        if self.ci_width is not None and self.ci_width < 0.0:
+            raise ValueError(f"ci_width must be >= 0, got {self.ci_width}")
+
+    @property
+    def initial_reps(self) -> int:
+        """Replicates to schedule before the first decision."""
+        if self.ci_width is None:
+            return self.max_reps
+        return min(self.min_reps, self.max_reps)
+
+    def decide(self, values: Sequence[float]) -> Optional[str]:
+        """Stop verdict over the stopping-metric samples so far.
+
+        Returns ``None`` (keep replicating) or one of
+        :data:`STOP_CI_WIDTH` / :data:`STOP_MAX_REPS` /
+        :data:`STOP_FIXED`.
+        """
+        n = len(values)
+        if self.ci_width is None:
+            return STOP_FIXED if n >= self.max_reps else None
+        if n >= self.initial_reps:
+            width = interval_width(values, confidence=self.confidence,
+                                   resamples=self.resamples, seed=self.seed)
+            if width <= self.ci_width:
+                return STOP_CI_WIDTH
+        return STOP_MAX_REPS if n >= self.max_reps else None

@@ -229,6 +229,24 @@ def test_cli_compare_short_history_skips(tmp_path, capsys):
     assert "nothing to judge" in capsys.readouterr().out
 
 
+def test_single_record_history_never_judged(tmp_path, capsys):
+    """A one-record history is "insufficient", even with --min-records 0.
+
+    Regression test: judging the sole record against an empty baseline
+    would have produced degenerate zero-width CIs; the clamp in
+    ``compare_history`` must report insufficient history instead, and
+    the CLI must exit 0.
+    """
+    from repro.cli import main
+
+    _write(tmp_path / "BENCH_1.json", _bench_doc(1.0, 1.0))
+    assert compare_history(tmp_path, min_records=0) is None
+    assert main(["compare", str(tmp_path), "--min-records", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "insufficient history" in out
+    assert "nothing to judge" in out
+
+
 def test_cli_compare_missing_path(tmp_path):
     from repro.cli import main
 

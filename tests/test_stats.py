@@ -1,0 +1,273 @@
+"""Unit tests for ``repro.stats`` (moments, bootstrap, stopping, replicate)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import gm_system, portals_system
+from repro.stats import (
+    DEFAULT_MIN_REPS,
+    STATS_SEED,
+    STOP_CI_WIDTH,
+    STOP_FIXED,
+    STOP_MAX_REPS,
+    Disagreement,
+    REPLICATION_SCHEMA_VERSION,
+    StoppingRule,
+    StreamingMoments,
+    bootstrap_ci,
+    find_disagreements,
+    interval_width,
+    is_stochastic,
+    replicate_seed,
+    replicate_system,
+    replication_interval,
+    sample_median,
+    summarize_replicates,
+)
+
+
+# ------------------------------------------------------------------ moments
+def test_moments_empty():
+    m = StreamingMoments()
+    assert m.n == 0
+    assert m.variance == 0.0
+    assert m.std == 0.0
+    assert m.to_dict() == {"n": 0, "mean": 0.0, "std": 0.0,
+                           "min": 0.0, "max": 0.0}
+
+
+def test_moments_matches_batch_statistics():
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    m = StreamingMoments().extend(values)
+    assert m.n == len(values)
+    assert m.mean == pytest.approx(5.0)
+    # Sample variance (n-1 denominator) of this classic set is 32/7.
+    assert m.variance == pytest.approx(32.0 / 7.0)
+    assert m.std == pytest.approx(math.sqrt(32.0 / 7.0))
+    assert (m.min_value, m.max_value) == (2.0, 9.0)
+
+
+def test_moments_single_sample_has_zero_variance():
+    m = StreamingMoments()
+    m.push(3.5)
+    assert m.n == 1
+    assert m.variance == 0.0
+    assert m.to_dict()["mean"] == 3.5
+
+
+def test_moments_merge_equals_sequential():
+    a_vals = [1.0, 2.0, 3.0]
+    b_vals = [10.0, 20.0, 30.0, 40.0]
+    merged = StreamingMoments().extend(a_vals).merge(
+        StreamingMoments().extend(b_vals))
+    direct = StreamingMoments().extend(a_vals + b_vals)
+    assert merged.n == direct.n
+    assert merged.mean == pytest.approx(direct.mean)
+    assert merged.variance == pytest.approx(direct.variance)
+    assert merged.min_value == direct.min_value
+    assert merged.max_value == direct.max_value
+
+
+def test_moments_merge_with_empty_sides():
+    filled = StreamingMoments().extend([1.0, 2.0])
+    assert StreamingMoments().merge(filled).to_dict() == filled.to_dict()
+    assert filled.merge(StreamingMoments()).to_dict() == filled.to_dict()
+
+
+# ---------------------------------------------------------------- bootstrap
+def test_sample_median_midpoint():
+    assert sample_median([1.0, 2.0, 10.0, 4.0]) == 3.0
+    assert sample_median([7.0]) == 7.0
+
+
+def test_sample_median_empty_raises():
+    with pytest.raises(ValueError):
+        sample_median([])
+
+
+def test_bootstrap_ci_constant_samples_zero_width():
+    lo, hi = bootstrap_ci([2.5, 2.5, 2.5])
+    assert (lo, hi) == (2.5, 2.5)
+    # Singletons are constant samples too.
+    assert bootstrap_ci([9.0]) == (9.0, 9.0)
+
+
+def test_bootstrap_ci_brackets_median():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    lo, hi = bootstrap_ci(values)
+    assert lo <= sample_median(values) <= hi
+    assert lo < hi
+
+
+def test_bootstrap_ci_seeded_reproducible():
+    values = [0.1, 0.9, 0.4, 0.7, 0.2, 0.6]
+    assert bootstrap_ci(values) == bootstrap_ci(values)
+    assert bootstrap_ci(values, seed=STATS_SEED) == bootstrap_ci(values)
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=0.0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], resamples=0)
+
+
+def test_interval_width():
+    assert interval_width([3.0, 3.0, 3.0]) == 0.0
+    assert interval_width([1.0, 2.0, 3.0, 4.0, 5.0]) > 0.0
+
+
+# ----------------------------------------------------------------- stopping
+def test_stopping_fixed_design():
+    rule = StoppingRule(max_reps=4)
+    assert rule.initial_reps == 4
+    assert rule.decide([1.0, 1.0, 1.0]) is None
+    assert rule.decide([1.0, 1.0, 1.0, 1.0]) == STOP_FIXED
+
+
+def test_stopping_adaptive_stops_on_narrow_ci():
+    rule = StoppingRule(max_reps=10, ci_width=0.5)
+    assert rule.initial_reps == DEFAULT_MIN_REPS
+    # Deterministic replicates: zero-width CI at min_reps.
+    assert rule.decide([2.0, 2.0, 2.0]) == STOP_CI_WIDTH
+    # Too few samples: no decision yet regardless of spread.
+    assert rule.decide([2.0, 2.0]) is None
+
+
+def test_stopping_adaptive_hits_cap():
+    rule = StoppingRule(max_reps=4, ci_width=1e-12)
+    noisy = [0.0, 10.0, 5.0, 7.0]
+    assert rule.decide(noisy[:3]) is None
+    assert rule.decide(noisy) == STOP_MAX_REPS
+
+
+def test_stopping_initial_reps_clamped_to_cap():
+    assert StoppingRule(max_reps=2, ci_width=0.1).initial_reps == 2
+
+
+def test_stopping_validation():
+    with pytest.raises(ValueError):
+        StoppingRule(max_reps=0)
+    with pytest.raises(ValueError):
+        StoppingRule(max_reps=3, min_reps=1)
+    with pytest.raises(ValueError):
+        StoppingRule(max_reps=3, ci_width=-0.1)
+
+
+# ---------------------------------------------------------------- replicate
+def test_replicate_seed_identity_at_zero():
+    assert replicate_seed(0, 0) == 0
+    assert replicate_seed(12345, 0) == 12345
+
+
+def test_replicate_seed_distinct_substreams():
+    seeds = {replicate_seed(0, r) for r in range(64)}
+    assert len(seeds) == 64
+    # Stable derivation: same (root, index) -> same seed.
+    assert replicate_seed(7, 3) == replicate_seed(7, 3)
+    # Different roots get different substreams.
+    assert replicate_seed(7, 3) != replicate_seed(8, 3)
+
+
+def test_replicate_seed_negative_raises():
+    with pytest.raises(ValueError):
+        replicate_seed(0, -1)
+
+
+def test_replicate_system_only_changes_seed():
+    system = portals_system()
+    rep0 = replicate_system(system, 0)
+    assert rep0 is system
+    rep2 = replicate_system(system, 2)
+    assert rep2.seed == replicate_seed(system.seed, 2)
+    assert dataclasses.replace(rep2, seed=system.seed) == system
+
+
+def test_is_stochastic_gate():
+    system = gm_system()
+    assert not is_stochastic(system)
+    fault = dataclasses.replace(system.machine.fault, data_loss_rate=0.01)
+    machine = dataclasses.replace(system.machine, fault=fault)
+    assert is_stochastic(dataclasses.replace(system, machine=machine))
+
+
+def test_find_disagreements_clean():
+    doc = {"availability": 0.5, "msgs": 10, "label": "x"}
+    assert find_disagreements([doc, dict(doc), dict(doc)]) == []
+    assert find_disagreements([]) == []
+    assert find_disagreements([doc]) == []
+
+
+def test_find_disagreements_flags_divergent_fields():
+    base = {"availability": 0.5, "msgs": 10}
+    twin = {"availability": 0.5, "msgs": 10}
+    bad = {"availability": 0.75, "msgs": 10}
+    out = find_disagreements([base, twin, bad])
+    assert out == [(2, ("availability",))]
+
+
+def test_find_disagreements_missing_keys_both_directions():
+    out = find_disagreements([{"a": 1, "b": 2}, {"a": 1, "c": 3}])
+    assert out == [(1, ("b", "c"))]
+
+
+def test_disagreement_detail_mentions_determinism_bug():
+    d = Disagreement(kind="polling", system="GM", replicate_index=2,
+                     fields=("availability",))
+    assert "determinism bug" in d.detail
+    assert "replicate 2" in d.detail
+    assert "polling/GM" in d.detail
+
+
+def test_summarize_replicates_shape():
+    docs = [
+        {"availability": 0.5, "msgs": 10, "label": "x", "ranks": [1, 2]},
+        {"availability": 0.7, "msgs": 10, "label": "x", "ranks": [1, 2]},
+        {"availability": 0.6, "msgs": 10, "label": "x", "ranks": [1, 2]},
+    ]
+    summary = summarize_replicates(docs, STOP_FIXED, disagreements=0)
+    assert summary["schema"] == REPLICATION_SCHEMA_VERSION
+    assert summary["reps"] == 3
+    assert summary["stopping_reason"] == STOP_FIXED
+    assert summary["disagreements"] == 0
+    # Scalars summarized; strings and lists skipped.
+    assert sorted(summary["metrics"]) == ["availability", "msgs"]
+    avail = summary["metrics"]["availability"]
+    assert sorted(avail) == ["ci_high", "ci_low", "max", "mean",
+                             "median", "min", "n", "std"]
+    assert avail["n"] == 3
+    assert avail["median"] == 0.6
+    assert avail["ci_low"] <= avail["median"] <= avail["ci_high"]
+    # Deterministic field: degenerate zero-width interval.
+    assert summary["metrics"]["msgs"]["ci_low"] == 10.0
+    assert summary["metrics"]["msgs"]["ci_high"] == 10.0
+
+
+def test_summarize_replicates_skips_inconsistent_fields():
+    docs = [{"a": 1.0, "b": 2.0}, {"a": 1.5, "b": "oops"}]
+    summary = summarize_replicates(docs, STOP_MAX_REPS)
+    assert sorted(summary["metrics"]) == ["a"]
+
+
+def test_summarize_replicates_empty_raises():
+    with pytest.raises(ValueError):
+        summarize_replicates([], STOP_FIXED)
+
+
+def test_replication_interval_lookup():
+    summary = summarize_replicates(
+        [{"availability": 0.4}, {"availability": 0.6}], STOP_FIXED)
+    interval = replication_interval(summary, "availability")
+    assert interval is not None
+    lo, hi = interval
+    assert lo <= 0.5 <= hi
+    assert replication_interval(summary, "absent") is None
+    assert replication_interval(None, "availability") is None
+    assert replication_interval({}, "availability") is None
+    assert replication_interval({"metrics": "junk"}, "availability") is None

@@ -1,0 +1,103 @@
+"""Property tests for ``repro.stats`` (Hypothesis).
+
+Four load-bearing invariants of the replication machinery:
+
+1. the bootstrap CI always brackets the sample median;
+2. the CI is invariant under replicate permutation and bit-identical
+   for a fixed seed (arrival order — which the adaptive stopping rule
+   perturbs — cannot move an interval);
+3. the stopping rule is monotone in the tolerance: widening
+   ``ci_width`` never stops a sequence *later*;
+4. the replica-disagreement detector never fires on deterministic
+   (bit-identical) replicate sets.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    StoppingRule,
+    bootstrap_ci,
+    find_disagreements,
+    sample_median,
+)
+
+#: Finite, well-scaled floats — simulator metrics live well inside this.
+metric_values = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+samples = st.lists(metric_values, min_size=1, max_size=24)
+
+
+@given(values=samples)
+@settings(max_examples=60, deadline=None)
+def test_bootstrap_ci_contains_sample_median(values):
+    lo, hi = bootstrap_ci(values, resamples=200)
+    assert lo <= sample_median(values) <= hi
+
+
+@given(values=samples, seed=st.integers(min_value=0, max_value=2**32 - 1),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_bootstrap_ci_permutation_invariant_and_seed_stable(
+        values, seed, data):
+    shuffled = data.draw(st.permutations(values))
+    original = bootstrap_ci(values, resamples=200, seed=seed)
+    # Same seed, permuted samples: bit-identical interval.
+    assert bootstrap_ci(shuffled, resamples=200, seed=seed) == original
+    # Same seed, same samples, second invocation: bit-identical too.
+    assert bootstrap_ci(values, resamples=200, seed=seed) == original
+
+
+@given(
+    values=st.lists(metric_values, min_size=2, max_size=16),
+    max_reps=st.integers(min_value=2, max_value=16),
+    narrow=st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False),
+    extra=st.floats(min_value=0.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_stopping_rule_monotone_in_tolerance(values, max_reps, narrow,
+                                             extra):
+    """Whenever the narrow rule stops a prefix, the wide rule has stopped
+    at that prefix length or an earlier one — never later."""
+    kwargs = dict(max_reps=max_reps, min_reps=2, resamples=200)
+    rule_narrow = StoppingRule(ci_width=narrow, **kwargs)
+    rule_wide = StoppingRule(ci_width=narrow + extra, **kwargs)
+
+    def stop_index(rule):
+        for n in range(1, len(values) + 1):
+            if rule.decide(values[:n]) is not None:
+                return n
+        return None
+
+    narrow_stop = stop_index(rule_narrow)
+    wide_stop = stop_index(rule_wide)
+    if narrow_stop is not None:
+        assert wide_stop is not None
+        assert wide_stop <= narrow_stop
+
+
+scalar_field = st.one_of(
+    metric_values,
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.booleans(),
+    st.text(max_size=8),
+    st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+)
+
+point_docs = st.dictionaries(
+    st.text(st.characters(categories=("Ll",)), min_size=1, max_size=10),
+    scalar_field,
+    max_size=8,
+)
+
+
+@given(doc=point_docs, reps=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_no_disagreement_on_deterministic_replicates(doc, reps):
+    replicates = [copy.deepcopy(doc) for _ in range(reps)]
+    assert find_disagreements(replicates) == []
