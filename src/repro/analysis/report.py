@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -19,6 +20,8 @@ class FigureReport:
 
     figure: FigureData
     claims: List[ClaimResult] = field(default_factory=list)
+    #: Wall-clock spent regenerating this figure (ledger/stream feed).
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -42,6 +45,13 @@ def run_figure(fig_id: str, per_decade: int = 2,
             if f not in ALL_FIGURES and f not in SCALING_FIGURES
         )
         raise KeyError(f"unknown figure {fig_id!r}; have {known}")
+    telemetry = executor.telemetry if executor is not None else None
+    timed = telemetry is not None or (
+        executor is not None and executor.point_log
+    )
+    if telemetry is not None:
+        telemetry.emit("figure_start", figure=fig_id)
+    t0_wall = time.perf_counter() if timed else 0.0
     with use_executor(executor):
         if generator is None:
             # Registry-only entry (e.g. a CI-band variant): interpret
@@ -52,13 +62,16 @@ def run_figure(fig_id: str, per_decade: int = 2,
             fig = generator(**kwargs)  # linear grids take no per_decade
         else:
             fig = generator(per_decade=per_decade, **kwargs)
+    wall_s = time.perf_counter() - t0_wall if timed else 0.0
+    if telemetry is not None:
+        telemetry.emit("figure_end", figure=fig_id, wall_s=wall_s)
     claims_id = fig_id
     spec = FIGURE_SPECS.get(fig_id)
     if spec is not None and spec.claims_id:
         claims_id = spec.claims_id  # CI variants inherit base claims
     checker = ALL_CLAIMS.get(claims_id) or SCALING_CLAIMS.get(claims_id)
     claims = checker(fig) if checker is not None else []
-    return FigureReport(fig, claims)
+    return FigureReport(fig, claims, wall_s=wall_s)
 
 
 def run_all(per_decade: int = 2,

@@ -10,6 +10,8 @@ Subcommands::
     comb figures [--ids fig08 fig11] [--per-decade 2] [--out results/]
     comb report  [--per-decade 2]
     comb bench   [--no-cache] [--profile fig04] [--compare]
+    comb history [--figure fig08] [--last 5] [--format json]
+    comb top     results/stream.ndjson [--once]
 
 ``comb pattern`` runs an application communication pattern (halo2d,
 halo3d, sweep, allreduce — ``halo`` is an alias for halo2d) across
@@ -62,7 +64,24 @@ two run paths (``metrics.json`` / ``BENCH_*.json`` files or directories
 of them) it bootstraps confidence intervals over median differences and
 exits 1 on significant regressions; with one BENCH history directory it
 judges the newest record against all older ones, skipping cleanly while
-the history is too short (see :mod:`repro.obs.compare`).
+the history is too short (see :mod:`repro.obs.compare`).  ``--format
+json`` emits the verdict machine-readably (per-metric CIs, the
+regression list, and the exit-status rationale).
+
+Live telemetry (``figures``, ``report``): ``--progress`` renders a live
+status line with per-worker heartbeats and a cache-aware ETA;
+``--progress-stream PATH|FD`` additionally writes every telemetry event
+as schema-versioned NDJSON, which ``comb top <path>`` can attach to from
+another terminal mid-run.  Detached (neither flag), the executor takes
+the exact pre-telemetry code path — results are bit-identical either
+way (telemetry is observation-only wall-clock metadata).
+
+Every executor-driven run also appends point outcomes and a closing
+summary to the persistent run ledger (``results/ledger/ledger.jsonl``;
+``--no-ledger`` opts out, ``--ledger-dir`` relocates it).  ``comb
+history`` filters and aggregates that ledger (outcome counts, mean miss
+wall, per-figure wall trend), and ``comb compare`` accepts a ledger
+file as a run-history source.
 """
 
 from __future__ import annotations
@@ -128,7 +147,36 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "availability bootstrap CI is at most this wide (cap: --reps); "
         "default: fixed --reps design",
     )
+    _add_progress_flags(parser)
+    _add_ledger_flags(parser)
     _add_check_flag(parser)
+
+
+def _add_progress_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live TTY progress line (point counts, workers, ETA, "
+        "stall flags) on stderr while the sweep runs",
+    )
+    parser.add_argument(
+        "--progress-stream", default=None, metavar="PATH|FD",
+        help="stream live telemetry as NDJSON (one schema-versioned "
+        "JSON object per line) to a file path or a numeric fd; "
+        "`comb top PATH` attaches to a running sweep through it",
+    )
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    from .obs.ledger import DEFAULT_LEDGER_DIR
+
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip appending this run to the persistent run ledger",
+    )
+    parser.add_argument(
+        "--ledger-dir", default=str(DEFAULT_LEDGER_DIR), metavar="DIR",
+        help=f"run-ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
 
 
 def _add_check_flag(parser: argparse.ArgumentParser) -> None:
@@ -139,11 +187,115 @@ def _add_check_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_executor(args: argparse.Namespace, metrics=None) -> SweepExecutor:
+def _make_executor(args: argparse.Namespace, metrics=None, telemetry=None,
+                   point_log: bool = False) -> SweepExecutor:
     cache = None if args.no_cache else PointCache(args.cache_dir)
     return SweepExecutor(jobs=args.jobs, cache=cache, check=args.check,
                          metrics=metrics, reps=getattr(args, "reps", 1),
-                         ci_width=getattr(args, "ci_width", None))
+                         ci_width=getattr(args, "ci_width", None),
+                         telemetry=telemetry, point_log=point_log)
+
+
+class _LiveSweep:
+    """Per-invocation live-telemetry + run-ledger plumbing.
+
+    Owns the telemetry channel, the hub with its consumers (NDJSON
+    stream writer for ``--progress-stream``, TTY renderer for
+    ``--progress``), and the run ledger (on by default; ``--no-ledger``
+    opts out).  Unwritable targets surface as a one-line message in
+    :attr:`error` — the PR 5 convention — never a traceback.
+    """
+
+    def __init__(self, args: argparse.Namespace, cmd: str) -> None:
+        import time as _time
+        import uuid
+        from pathlib import Path
+
+        self.run_id = uuid.uuid4().hex[:12]
+        self.cmd = cmd
+        self.jobs = getattr(args, "jobs", 1)
+        self.channel = None
+        self.hub = None
+        self.stream_writer = None
+        self.ledger = None
+        self.error: Optional[str] = None
+        self._t0_wall = _time.perf_counter()
+        stream_target = getattr(args, "progress_stream", None)
+        want_live = bool(getattr(args, "progress", False) or stream_target)
+        if stream_target:
+            from .obs.live_consumers import StreamWriter
+
+            try:
+                self.stream_writer = StreamWriter(stream_target)
+            except OSError as exc:
+                self.error = (f"error: cannot open progress stream "
+                              f"{stream_target}: {exc}")
+                return
+        if not getattr(args, "no_ledger", False) \
+                and hasattr(args, "ledger_dir"):
+            from .obs.ledger import RunLedger
+
+            ledger_dir = Path(args.ledger_dir)
+            try:
+                self.ledger = RunLedger(ledger_dir, self.run_id, cmd)
+            except OSError as exc:
+                self.error = (f"error: cannot open run ledger under "
+                              f"{ledger_dir}: {exc}")
+                return
+        if want_live:
+            from .obs.live import TelemetryChannel
+            from .obs.live_consumers import ProgressRenderer, TelemetryHub
+
+            self.channel = TelemetryChannel()
+            consumers = []
+            if self.stream_writer is not None:
+                consumers.append(self.stream_writer)
+            if getattr(args, "progress", False):
+                consumers.append(ProgressRenderer())
+            self.hub = TelemetryHub(self.channel, consumers)
+            self.hub.start(self.run_id, cmd, self.jobs)
+
+    @property
+    def point_log(self) -> bool:
+        return self.ledger is not None
+
+    def finish(self, executor: SweepExecutor, reports=None,
+               claims_ok: Optional[bool] = None) -> None:
+        """Close the hub/stream and append this run to the ledger."""
+        import time as _time
+        from datetime import datetime, timezone
+
+        if self.hub is not None:
+            self.hub.close()
+        if self.stream_writer is not None:
+            self.stream_writer.close()
+        if self.ledger is not None:
+            from . import compiled
+
+            for point in executor.point_records:
+                self.ledger.record_point(
+                    key=point["key"], kind=point["kind"],
+                    system=point["system"], outcome=point["outcome"],
+                    wall_s=point["wall_s"], seed=point["seed"],
+                )
+            figures = None
+            if reports is not None:
+                figures = {r.figure.fig_id: round(r.wall_s, 4)
+                           for r in reports}
+                if claims_ok is None:
+                    claims_ok = all(r.ok for r in reports)
+            self.ledger.record_run(
+                wall_s=round(_time.perf_counter() - self._t0_wall, 4),
+                timestamp=datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+                compiled=compiled.active(),
+                reps=executor.reps,
+                cache=executor.stats.to_dict(),
+                figures=figures,
+                claims_ok=claims_ok,
+            )
+            self.ledger.close()
 
 
 def _maybe_observer(args: argparse.Namespace):
@@ -319,6 +471,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="disable the on-disk point cache (cold timings)")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                    help=f"point-cache directory (default: {DEFAULT_CACHE_DIR})")
+    _add_ledger_flags(p)
 
     p = sub.add_parser(
         "compare",
@@ -338,6 +491,38 @@ def _build_parser() -> argparse.ArgumentParser:
                    "(default: 0.05)")
     p.add_argument("--min-records", type=int, default=None, metavar="N",
                    help="baseline samples required per metric (default: 2)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="verdict output format (json: machine-readable "
+                   "regressions, CIs, and exit-status rationale)")
+
+    p = sub.add_parser(
+        "history",
+        help="query the persistent run ledger (filters, aggregates, "
+        "per-figure wall-time trend)",
+    )
+    p.add_argument("--figure", default=None, metavar="FIGID",
+                   help="restrict to runs/points touching this figure")
+    p.add_argument("--system", default=None,
+                   help="restrict point records to this system preset")
+    p.add_argument("--kind", default=None,
+                   choices=("polling", "pww", "pattern"),
+                   help="restrict point records to this method kind")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only the newest N runs")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    _add_ledger_flags(p)
+
+    p = sub.add_parser(
+        "top",
+        help="attach to a running sweep via its --progress-stream file "
+        "and render live point/worker state",
+    )
+    p.add_argument("stream", help="the sweep's --progress-stream file")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit (no refresh loop)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (default: 1.0)")
 
     p = sub.add_parser(
         "scenario", help="run a declarative JSON experiment spec"
@@ -345,6 +530,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("spec", help="path to the scenario JSON document")
     p.add_argument("--out", default=None,
                    help="write the full result document as JSON here")
+    _add_ledger_flags(p)
 
     p = sub.add_parser(
         "profile",
@@ -614,16 +800,32 @@ def _run_bench(args: argparse.Namespace) -> int:
     """``comb bench``: one timed pass over the grid, one BENCH record."""
     from pathlib import Path
 
+    import uuid
+
     from .core.bench import DEFAULT_OUT_DIR, run_bench, write_record
 
     cache = None if args.no_cache else PointCache(args.cache_dir)
+    ledger = None
+    if not args.no_ledger:
+        from .obs.ledger import RunLedger
+
+        ledger_dir = Path(args.ledger_dir)
+        try:
+            ledger = RunLedger(ledger_dir, uuid.uuid4().hex[:12], "bench")
+        except OSError as exc:
+            print(f"error: cannot open run ledger under {ledger_dir}: {exc}",
+                  file=sys.stderr)
+            return 1
     try:
         record = run_bench(ids=args.ids, per_decade=args.per_decade,
                            jobs=args.jobs, cache=cache,
-                           profile=args.profile, echo=print)
+                           profile=args.profile, echo=print, ledger=ledger)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if ledger is not None:
+            ledger.close()
     out_dir = Path(args.out_dir) if args.out_dir else DEFAULT_OUT_DIR
     path = write_record(record, out_dir)
     cache_doc = record["cache"]
@@ -652,11 +854,13 @@ def _run_bench(args: argparse.Namespace) -> int:
 
 def _run_compare_runs(args: argparse.Namespace) -> int:
     """``comb compare <runs…>``: the statistical regression sentinel."""
+    import json as _json
     from pathlib import Path
 
     from .obs import compare_history, compare_paths
     from .obs.compare import DEFAULT_MIN_RECORDS, DEFAULT_MIN_REL
 
+    as_json = getattr(args, "format", "text") == "json"
     min_rel = args.min_rel if args.min_rel is not None else DEFAULT_MIN_REL
     min_records = (args.min_records if args.min_records is not None
                    else DEFAULT_MIN_RECORDS)
@@ -666,6 +870,9 @@ def _run_compare_runs(args: argparse.Namespace) -> int:
             print(f"error: run path {run} does not exist", file=sys.stderr)
             return 2
     if len(runs) == 1:
+        # History mode: either a BENCH trajectory directory or a run
+        # ledger file (newest vs older makes no sense for a ledger, so
+        # ledgers are only valid as one side of an A-vs-B compare).
         if not runs[0].is_dir():
             print(f"error: history mode needs a directory of BENCH_*.json "
                   f"records, got {runs[0]}", file=sys.stderr)
@@ -676,11 +883,24 @@ def _run_compare_runs(args: argparse.Namespace) -> int:
             # Degenerate histories (a single record, or --min-records 0
             # against one) are "insufficient history", never judged
             # against an empty/zero-width baseline.
-            print(f"compare: insufficient history — fewer than "
-                  f"{max(min_records, 1) + 1} BENCH records in {runs[0]}; "
-                  f"nothing to judge yet (not a failure)")
+            if as_json:
+                print(_json.dumps({
+                    "schema_version": 1,
+                    "comparisons": [], "skipped": [], "regressions": [],
+                    "exit_code": 0,
+                    "exit_rationale": (
+                        f"insufficient history: fewer than "
+                        f"{max(min_records, 1) + 1} BENCH records"
+                    ),
+                }, indent=2, sort_keys=True))
+            else:
+                print(f"compare: insufficient history — fewer than "
+                      f"{max(min_records, 1) + 1} BENCH records in "
+                      f"{runs[0]}; nothing to judge yet (not a failure)")
             return 0
-        print(f"compare: newest record in {runs[0]} vs all older records")
+        if not as_json:
+            print(f"compare: newest record in {runs[0]} vs all older "
+                  f"records")
     elif len(runs) == 2:
         # Explicit A-vs-B: the user picked the samples, so singleton
         # baselines are judged (zero-width CI) instead of skipped;
@@ -689,14 +909,72 @@ def _run_compare_runs(args: argparse.Namespace) -> int:
             runs[0], runs[1], min_rel=min_rel,
             min_records=min_records if args.min_records is not None else 1,
         )
-        print(f"compare: {runs[1]} (candidate) vs {runs[0]} (baseline)")
+        if not as_json:
+            print(f"compare: {runs[1]} (candidate) vs {runs[0]} (baseline)")
     else:
         print("error: compare takes 0 run paths (system table), 1 "
               "(BENCH history dir), or 2 (baseline candidate)",
               file=sys.stderr)
         return 2
-    print(report.format())
+    if as_json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
     return report.exit_code
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    """``comb history``: deterministic aggregates over the run ledger."""
+    import json as _json
+    from pathlib import Path
+
+    from .obs.ledger import (
+        filter_records,
+        format_history,
+        history_aggregate,
+        ledger_path,
+        read_records,
+    )
+
+    path = ledger_path(Path(args.ledger_dir))
+    records, corrupt = read_records(path)
+    if not records and not path.exists():
+        print(f"history: no ledger at {path} yet (runs append to it by "
+              f"default; --ledger-dir selects another)")
+        return 0
+    filtered = filter_records(
+        records, figure=args.figure, system=args.system,
+        kind=args.kind, last=args.last,
+    )
+    aggregate = history_aggregate(filtered)
+    if args.format == "json":
+        aggregate["corrupt_lines"] = corrupt
+        print(_json.dumps(aggregate, indent=2, sort_keys=True))
+    else:
+        print(format_history(aggregate, corrupt=corrupt))
+    return 0
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """``comb top``: attach to a sweep through its stream file."""
+    from pathlib import Path
+
+    from .obs.live_consumers import run_top
+
+    stream = Path(args.stream)
+    if not stream.exists():
+        print(f"error: stream file {stream} does not exist (start the "
+              f"sweep with --progress-stream {stream})", file=sys.stderr)
+        return 2
+    try:
+        return run_top(stream, once=args.once,
+                       interval_s=max(args.interval, 0.1))
+    except OSError as exc:
+        print(f"error: cannot read stream {stream}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive detach
+        print()
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -797,8 +1075,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.context import use_observer
 
         observer = _maybe_observer(args)
+        live = _LiveSweep(args, "figures")
+        if live.error:
+            print(live.error, file=sys.stderr)
+            return 1
         with _make_executor(
-            args, metrics=observer.metrics if observer else None
+            args, metrics=observer.metrics if observer else None,
+            telemetry=live.channel, point_log=live.point_log,
         ) as executor:
             with use_observer(observer):
                 reports = run_all(per_decade=args.per_decade,
@@ -809,7 +1092,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if observer is not None and _write_metrics_sidecar(
                 observer, executor, args.out or "results"
             ):
+                live.finish(executor, reports)
                 return 1
+        live.finish(executor, reports)
         for rep in reports:
             if not args.no_plots:
                 print(render(rep.figure))
@@ -824,6 +1109,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         return _run_bench(args)
+
+    if args.command == "history":
+        return _run_history(args)
+
+    if args.command == "top":
+        return _run_top(args)
 
     if args.command == "compare":
         if args.runs:
@@ -842,11 +1133,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "scenario":
         import json as _json
+        import uuid as _uuid
         from pathlib import Path as _Path
 
         from .scenario import format_scenario_results, run_scenario
 
-        results = run_scenario(args.spec)
+        ledger = None
+        if not args.no_ledger:
+            from .obs.ledger import RunLedger
+
+            ledger_dir = _Path(args.ledger_dir)
+            try:
+                ledger = RunLedger(ledger_dir, _uuid.uuid4().hex[:12],
+                                   "scenario")
+            except OSError as exc:
+                print(f"error: cannot open run ledger under {ledger_dir}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+        try:
+            results = run_scenario(args.spec, ledger=ledger)
+        finally:
+            if ledger is not None:
+                ledger.close()
         print(format_scenario_results(results))
         if args.out:
             _Path(args.out).write_text(_json.dumps(results, indent=2))
@@ -892,8 +1200,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.context import use_observer
 
         observer = _maybe_observer(args)
+        live = _LiveSweep(args, "report")
+        if live.error:
+            print(live.error, file=sys.stderr)
+            return 1
         with _make_executor(
-            args, metrics=observer.metrics if observer else None
+            args, metrics=observer.metrics if observer else None,
+            telemetry=live.channel, point_log=live.point_log,
         ) as executor:
             with use_observer(observer):
                 reports = run_all(per_decade=args.per_decade,
@@ -901,7 +1214,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if observer is not None and _write_metrics_sidecar(
                 observer, executor, "results"
             ):
+                live.finish(executor, reports)
                 return 1
+        live.finish(executor, reports)
         print(format_report(reports))
         if _report_disagreements(executor.disagreements):
             return 1

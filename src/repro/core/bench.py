@@ -85,12 +85,16 @@ def run_bench(
     cache: Optional[PointCache] = None,
     profile: Optional[str] = None,
     echo: Callable[[str], None] = print,
+    ledger: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Time one pass over the benchmark grid; return the record dict.
 
     ``ids`` defaults to every figure; ``profile`` names a figure id to
     additionally cProfile (top rows embedded under ``"profile"``).
-    ``echo`` receives one progress line per figure.
+    ``echo`` receives one progress line per figure.  ``ledger`` is an
+    open :class:`~repro.obs.ledger.RunLedger`: every point outcome and
+    the closing run summary are appended to it (timing is unchanged —
+    point logging costs two timestamps per simulated point).
     """
     from ..analysis import run_figure
     from ..analysis.figures import ALL_FIGURES
@@ -109,7 +113,8 @@ def run_bench(
     per_figure: Dict[str, float] = {}
     claims_ok = True
     t_total_s = time.time()
-    with SweepExecutor(jobs=jobs, cache=cache, metrics=registry) as executor:
+    with SweepExecutor(jobs=jobs, cache=cache, metrics=registry,
+                       point_log=ledger is not None) as executor:
         for fig_id in fig_ids:
             t0 = time.time()
             report = run_figure(fig_id, per_decade=per_decade,
@@ -147,6 +152,23 @@ def run_bench(
     if profile is not None:
         echo(f"profiling {profile} (serial, uncached)...")
         record["profile"] = profile_figure(profile, per_decade=per_decade)
+    if ledger is not None:
+        for point in executor.point_records:
+            ledger.record_point(
+                key=point["key"], kind=point["kind"],
+                system=point["system"], outcome=point["outcome"],
+                wall_s=point["wall_s"], seed=point["seed"],
+            )
+        ledger.record_run(
+            wall_s=round(total_s, 4),
+            timestamp=record["timestamp"],
+            compiled=record["compiled"],
+            reps=1,
+            cache=record["cache"],
+            figures=per_figure,
+            total_s=record["total_s"],
+            claims_ok=claims_ok,
+        )
     return record
 
 

@@ -43,7 +43,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
+from ..obs import live as _live
 from ..obs.context import current_observer
+from ..obs.live import TelemetryChannel
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 
 # Submodule imports only (never package-level ``..patterns``): the
@@ -168,6 +170,33 @@ def _sim_entry(
         point, violations = run_task(task), []
     wall_s = time.perf_counter() - t0_wall if timed else 0.0
     return point, violations, wall_s
+
+
+def _sim_entry_live(
+    task_and_key: Tuple[PointTask, str],
+    check: bool = False,
+    timed: bool = False,
+) -> Tuple[Point, List[Any], float]:
+    """:func:`_sim_entry` bracketed by live telemetry lifecycle events.
+
+    Module-level for spawn-pool pickling.  Runs in the emitting process
+    (pool worker, or the parent on the serial path), so the emitted
+    ``point_start`` / ``point_end`` carry *that* process's pid and
+    cumulative drop counts.  Telemetry is observation-only: the returned
+    point is bit-identical to :func:`_sim_entry`'s.
+    """
+    task, key = task_and_key
+    kind, system, msg_bytes, interval_iters, _warmup_windows = (
+        _point_marker(task)
+    )
+    _live.note_point_start(key, kind, {
+        "system": system,
+        "msg_bytes": msg_bytes,
+        "interval_iters": interval_iters,
+    })
+    result = _sim_entry(task, check=check, timed=timed)
+    _live.note_point_end(key, kind, result[2])
+    return result
 
 
 # --------------------------------------------------------------------- keys
@@ -377,6 +406,18 @@ class SweepExecutor:
         this wide (never exceeding the ``reps`` cap).  ``None``
         (default) runs the fixed design of exactly ``reps`` replicates.
         Ignored when ``reps == 1``.
+    telemetry:
+        A :class:`~repro.obs.live.TelemetryChannel` receiving live point
+        lifecycle events and per-worker heartbeats (see
+        :mod:`repro.obs.live`).  Pool workers are armed through the pool
+        initializer; on the serial path the parent arms itself.
+        ``None`` (default) is the detached path — no queue, no arming,
+        bit-identical results and walls.
+    point_log:
+        Record one parent-side outcome dict per point into
+        :attr:`point_records` (key, kind, system, hit/miss/duplicate,
+        wall, seed) — the run ledger's feed.  Implied timing only; the
+        points themselves are untouched.
     """
 
     def __init__(
@@ -388,6 +429,8 @@ class SweepExecutor:
         metrics: Optional[MetricsRegistry] = None,
         reps: int = 1,
         ci_width: Optional[float] = None,
+        telemetry: Optional[TelemetryChannel] = None,
+        point_log: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -402,6 +445,14 @@ class SweepExecutor:
         self.metrics = metrics
         self.reps = reps
         self.ci_width = ci_width
+        self.telemetry = telemetry
+        self.point_log = point_log
+        #: Parent-side per-point outcome records (``point_log`` or
+        #: ``telemetry`` set): the run ledger's input.
+        self.point_records: List[Dict[str, Any]] = []
+        self._armed_serial = False
+        #: Per-task walls of the most recent :meth:`_simulate` batch.
+        self._last_walls_s: List[float] = []
         self.stats = CacheStats()
         #: Violations collected from checked simulations (``check=True``).
         self.violations: List[Any] = []
@@ -420,6 +471,9 @@ class SweepExecutor:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._armed_serial:
+            _live.disarm_worker()
+            self._armed_serial = False
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -438,7 +492,18 @@ class SweepExecutor:
         if self._pool is None:
             ctx = multiprocessing.get_context("spawn")
             self._pool_size = min(self.jobs, max(want, 1))
-            self._pool = ctx.Pool(processes=self._pool_size)
+            if self.telemetry is not None:
+                # Arm every worker as a telemetry emitter: the bounded
+                # queue inherits through initargs (the only channel a
+                # spawn worker can receive an mp.Queue over).
+                self._pool = ctx.Pool(
+                    processes=self._pool_size,
+                    initializer=_live.pool_worker_init,
+                    initargs=(self.telemetry.queue,
+                              self.telemetry.heartbeat_s),
+                )
+            else:
+                self._pool = ctx.Pool(processes=self._pool_size)
         return self._pool
 
     # ------------------------------------------------------------- execution
@@ -470,10 +535,15 @@ class SweepExecutor:
         """Single-shot execution: one simulation (or cache hit) per task."""
         salt = code_salt()
         lookup = self._lookup if self.metrics is None else self._lookup_profiled
+        # Outcome notes feed the ledger (point_log), the live stream
+        # (telemetry), and the trace's executor row (ambient observer).
+        live_on = (self.point_log or self.telemetry is not None
+                   or current_observer() is not None)
         results: List[Any] = [None] * len(tasks)
         pending: List[Tuple[int, str, PointTask]] = []
         first_for_key: Dict[str, int] = {}
         duplicates: List[Tuple[int, int]] = []
+        n_hits = 0
         for i, task in enumerate(tasks):
             key = task_key(task, salt)
             if key in first_for_key:
@@ -481,22 +551,70 @@ class SweepExecutor:
                 # once, copy after — and keep it out of the hit/miss stats
                 # so ``misses`` always equals the number of simulations.
                 duplicates.append((i, first_for_key[key]))
+                if live_on:
+                    self._note_outcome(key, task, "duplicate", None)
                 continue
             point = lookup(key, task.kind)
             if point is not None:
                 results[i] = point
+                n_hits += 1
+                if live_on:
+                    self._note_outcome(key, task, "hit", None)
             else:
                 first_for_key[key] = i
                 pending.append((i, key, task))
 
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "batch", n_tasks=len(tasks), n_hits=n_hits,
+                n_pending=len(pending),
+            )
         if pending:
-            fresh = self._simulate([t for _i, _k, t in pending])
-            for (i, key, task), point in zip(pending, fresh):
+            fresh = self._simulate(
+                [t for _i, _k, t in pending],
+                keys=[k for _i, k, _t in pending],
+            )
+            for (i, key, task), point, wall_s in zip(
+                pending, fresh, self._last_walls_s
+            ):
                 results[i] = point
                 self._store(key, task.kind, point)
+                if live_on:
+                    self._note_outcome(key, task, "miss", wall_s)
         for i, j in duplicates:
             results[i] = dataclasses.replace(results[j])
         return results
+
+    def _note_outcome(
+        self,
+        key: str,
+        task: PointTask,
+        outcome: str,
+        wall_s: Optional[float],
+    ) -> None:
+        """Record one parent-side point outcome (ledger + live stream)."""
+        self.point_records.append({
+            "key": key,
+            "kind": task.kind,
+            "system": task.system.name,
+            "outcome": outcome,
+            "wall_s": wall_s,
+            "seed": task.system.seed,
+        })
+        if outcome == "miss":
+            return
+        # Misses announce themselves from the worker (point_start /
+        # point_end); hits and duplicates never reach a worker, so the
+        # parent speaks for them.
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "point_cached", key=key, method=task.kind,
+                system=task.system.name, outcome=outcome,
+            )
+        obs = current_observer()
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None:
+            tracer.record(0.0, "executor", "point_cached", (task.kind,))
 
     def run_one(self, task: PointTask) -> Point:
         """Convenience wrapper: run a single task."""
@@ -652,9 +770,15 @@ class SweepExecutor:
         if self.cache is not None:
             self.cache.put(key, kind, point)
 
-    def _simulate(self, tasks: Sequence[PointTask]) -> List[Any]:
+    def _simulate(
+        self,
+        tasks: Sequence[PointTask],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
         metrics = self.metrics
-        timed = metrics is not None
+        telemetry = self.telemetry
+        timed = metrics is not None or telemetry is not None or self.point_log
+        live_entry = telemetry is not None and keys is not None
         t_batch0_s = time.perf_counter() if timed else 0.0
         entry = partial(_sim_entry, check=self.check, timed=timed)
         pooled = self.jobs > 1 and len(tasks) > 1
@@ -663,23 +787,46 @@ class SweepExecutor:
             # chunksize=1: tasks are coarse (whole simulations); dynamic
             # dispatch balances wildly uneven point costs.  pool.map keeps
             # result order == task order, preserving determinism.
-            raw = pool.map(entry, tasks, chunksize=1)
+            if live_entry:
+                assert keys is not None
+                raw = pool.map(
+                    partial(_sim_entry_live, check=self.check, timed=timed),
+                    list(zip(tasks, keys)),
+                    chunksize=1,
+                )
+            else:
+                raw = pool.map(entry, tasks, chunksize=1)
         else:
+            if telemetry is not None and not _live.worker_armed():
+                # Serial path: the parent is the (sole) worker — arm it
+                # so lifecycle events and heartbeats flow the same way.
+                _live.arm_worker(telemetry.queue, telemetry.heartbeat_s)
+                self._armed_serial = True
             # With an ambient observer, bracket each point's event stream
             # with markers so attribution (repro.obs.attribution) can cut
             # the merged stream back into sweep points.  Markers are
             # emitted *around* simulation — they never touch it.
             obs = current_observer()
             tracer = obs.tracer if obs is not None else None
-            if tracer is None:
+            if tracer is None and not live_entry:
                 raw = [entry(t) for t in tasks]
             else:
+                assert keys is not None or not live_entry
                 raw = []
-                for t in tasks:
-                    tracer.record(0.0, "executor", "point_start",
-                                  _point_marker(t))
-                    raw.append(entry(t))
-                    tracer.record(0.0, "executor", "point_end", (t.kind,))
+                for idx, t in enumerate(tasks):
+                    if tracer is not None:
+                        tracer.record(0.0, "executor", "point_start",
+                                      _point_marker(t))
+                    if live_entry:
+                        assert keys is not None
+                        raw.append(_sim_entry_live(
+                            (t, keys[idx]), check=self.check, timed=timed
+                        ))
+                    else:
+                        raw.append(entry(t))
+                    if tracer is not None:
+                        tracer.record(0.0, "executor", "point_end",
+                                      (t.kind,))
         points: List[Any] = []
         busy_s = 0.0
         for point, violations, wall_s in raw:
@@ -687,12 +834,12 @@ class SweepExecutor:
             if violations:
                 self.violations.extend(violations)
             busy_s += wall_s
+        self._last_walls_s = [wall_s for _point, _violations, wall_s in raw]
         # Drain unconditionally so counts never leak into a later executor;
         # pooled points tallied in worker processes are lost by design (see
         # repro.core.accounting).
         events = drain_events()
-        if timed:
-            assert metrics is not None
+        if metrics is not None:
             if events:
                 metrics.counter("sim.events_processed").inc(events)
             batch_wall_s = time.perf_counter() - t_batch0_s

@@ -42,6 +42,25 @@ from .compare import (
     compare_samples,
 )
 from .context import current_observer, use_observer
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    format_history,
+    history_aggregate,
+    read_records,
+)
+from .live import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryChannel,
+    validate_stream_event,
+    validate_stream_line,
+)
+from .live_consumers import (
+    ProgressRenderer,
+    StreamWriter,
+    SweepState,
+    TelemetryHub,
+)
 from .export import (
     TRACE_SCHEMA_VERSION,
     chrome_trace,
@@ -70,6 +89,7 @@ __all__ = [
     "DEFAULT_SIM_TIME_BUCKETS_S",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
     "MessageSpans",
     "MetricComparison",
     "MetricsRegistry",
@@ -77,10 +97,17 @@ __all__ = [
     "ObsTracer",
     "Observer",
     "PointAttribution",
+    "ProgressRenderer",
     "RingBuffer",
+    "RunLedger",
     "Span",
     "SpanForest",
+    "StreamWriter",
+    "SweepState",
+    "TELEMETRY_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "TelemetryChannel",
+    "TelemetryHub",
     "attribute_events",
     "attribute_window",
     "chrome_trace",
@@ -89,8 +116,13 @@ __all__ = [
     "compare_samples",
     "current_observer",
     "format_attribution",
+    "format_history",
+    "history_aggregate",
+    "read_records",
     "stitch",
     "use_observer",
+    "validate_stream_event",
+    "validate_stream_line",
     "write_chrome_trace",
     "write_csv_timeline",
     "write_metrics",

@@ -79,21 +79,35 @@ def scalar_profile(doc: Dict[str, object]) -> Dict[str, float]:
 
 
 def load_samples(run: Path) -> Dict[str, List[float]]:
-    """Per-metric samples from a run file or a directory of run files."""
+    """Per-metric samples from a run file or a directory of run files.
+
+    ``.jsonl`` files are read as run ledgers (:mod:`repro.obs.ledger`):
+    every ``run`` record inside becomes one sample, so a long-lived
+    ledger serves directly as a many-sample history source.
+    """
     if run.is_dir():
         paths = sorted(
-            set(run.glob("BENCH_*.json")) | set(run.glob("*metrics*.json"))
+            set(run.glob("BENCH_*.json"))
+            | set(run.glob("*metrics*.json"))
+            | set(run.glob("*.jsonl"))
         )
     else:
         paths = [run]
     samples: Dict[str, List[float]] = {}
+    docs: List[Dict[str, object]] = []
     for path in paths:
+        if path.suffix == ".jsonl":
+            from .ledger import run_record_samples
+
+            docs.extend(run_record_samples(path))
+            continue
         try:
             doc = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             continue  # unreadable / non-JSON: not a sample
-        if not isinstance(doc, dict):
-            continue
+        if isinstance(doc, dict):
+            docs.append(doc)
+    for doc in docs:
         for name, value in scalar_profile(doc).items():
             samples.setdefault(name, []).append(value)
     return samples
@@ -119,6 +133,20 @@ class MetricComparison:
             return 0.0
         return (self.median_b - self.median_a) / self.median_a
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready verdict for one metric (``--format json``)."""
+        return {
+            "name": self.name,
+            "n_baseline": self.n_a,
+            "n_candidate": self.n_b,
+            "median_baseline_s": self.median_a,
+            "median_candidate_s": self.median_b,
+            "rel_delta": self.rel_delta,
+            "ci_low_s": self.ci_low,
+            "ci_high_s": self.ci_high,
+            "regression": self.regression,
+        }
+
 
 @dataclass
 class CompareReport:
@@ -135,6 +163,29 @@ class CompareReport:
     @property
     def exit_code(self) -> int:
         return 1 if self.regressions else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable verdict (``comb compare --format json``).
+
+        Carries the exit status *and its rationale*: a metric regresses
+        only when the whole bootstrap CI of the median difference is
+        above zero and the relative slowdown clears the minimum — the
+        same rule :meth:`format` renders for humans.
+        """
+        n = len(self.regressions)
+        return {
+            "schema_version": 1,
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "skipped": list(self.skipped),
+            "regressions": [c.name for c in self.regressions],
+            "exit_code": self.exit_code,
+            "exit_rationale": (
+                f"{n} regression{'s' if n != 1 else ''}: a metric "
+                "regresses only when the entire bootstrap CI of the "
+                "median difference is above zero and the relative "
+                "slowdown exceeds the minimum threshold"
+            ),
+        }
 
     def format(self) -> str:
         if not self.comparisons and not self.skipped:

@@ -33,6 +33,13 @@ from .tracer import ObsEvent
 #: docstring for the compatibility rule).
 TRACE_SCHEMA_VERSION = 1
 
+#: The sweep executor's markers render as their own *process* (sim events
+#: stay on pid 0), so executor stages align with sim spans side by side.
+EXECUTOR_PID = 1
+
+#: Tracer kinds the executor emits around points (source ``executor``).
+_EXECUTOR_KINDS = ("point_start", "point_end", "point_cached")
+
 _SEC_TO_US = 1e6
 
 
@@ -47,6 +54,59 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def _executor_rows(
+    sim_events: Sequence[ObsEvent],
+    exec_events: Sequence[ObsEvent],
+) -> List[Dict[str, Any]]:
+    """``"X"`` slices / instant marks for the executor process row.
+
+    Executor markers carry no sim timestamp of their own (points start
+    at sim t=0 on fresh worlds), so each slice's extent is derived from
+    the sim events *enclosed* between its ``point_start`` and
+    ``point_end`` in global seq order.  A pair enclosing no sim events
+    (fully evicted rings) degrades to a zero-length slice at t=0.
+    """
+    rows: List[Dict[str, Any]] = []
+    merged = sorted(
+        list(sim_events) + list(exec_events), key=lambda ev: ev.seq
+    )
+    current: Optional[ObsEvent] = None
+    lo_s: Optional[float] = None
+    hi_s: Optional[float] = None
+    for ev in merged:
+        if ev.source == "executor" and ev.kind in _EXECUTOR_KINDS:
+            if ev.kind == "point_start":
+                current, lo_s, hi_s = ev, None, None
+            elif ev.kind == "point_end" and current is not None:
+                kind, system, msg_bytes, interval_iters, _warmup_windows = (
+                    current.detail
+                )
+                start_s = lo_s if lo_s is not None else 0.0
+                dur_s = (hi_s - lo_s) if lo_s is not None \
+                    and hi_s is not None else 0.0
+                rows.append({
+                    "ph": "X", "name": f"point.{kind}", "cat": "executor",
+                    "pid": EXECUTOR_PID, "tid": 1,
+                    "ts": start_s * _SEC_TO_US, "dur": dur_s * _SEC_TO_US,
+                    "args": {
+                        "system": system,
+                        "msg_bytes": msg_bytes,
+                        "interval_iters": interval_iters,
+                    },
+                })
+                current = None
+            elif ev.kind == "point_cached":
+                rows.append({
+                    "ph": "i", "name": "point.cached", "cat": "executor",
+                    "s": "t", "pid": EXECUTOR_PID, "tid": 1, "ts": 0,
+                    "args": {"kind": _jsonable(ev.detail)},
+                })
+        elif current is not None:
+            lo_s = ev.time_s if lo_s is None else min(lo_s, ev.time_s)
+            hi_s = ev.time_s if hi_s is None else max(hi_s, ev.time_s)
+    return rows
+
+
 def chrome_trace(
     events: Sequence[ObsEvent],
     label: str = "comb",
@@ -59,7 +119,21 @@ def chrome_trace(
     both in ``otherData["dropped_events"]`` and as visible instant marks
     on a dedicated ``obs.tracer`` row, so a truncated trace states its
     own truncation inside Perfetto instead of hiding it.
+
+    Executor point markers (source ``executor``) render as a separate
+    process (:data:`EXECUTOR_PID`): each ``point_start``/``point_end``
+    pair becomes one ``"X"`` slice spanning the sim-time extent of the
+    events it encloses, and ``point_cached`` becomes an instant mark —
+    so sweep structure and per-point sim activity line up in Perfetto.
     """
+    exec_events = [
+        ev for ev in events
+        if ev.source == "executor" and ev.kind in _EXECUTOR_KINDS
+    ]
+    events = [
+        ev for ev in events
+        if not (ev.source == "executor" and ev.kind in _EXECUTOR_KINDS)
+    ]
     sources = sorted({ev.source for ev in events})
     tid_of = {source: tid for tid, source in enumerate(sources, start=1)}
     out: List[Dict[str, Any]] = [
@@ -112,6 +186,16 @@ def chrome_trace(
                 "pid": 0, "tid": tid, "ts": ts_us,
                 "args": {"detail": _jsonable(ev.detail)},
             })
+    if exec_events:
+        out.append({
+            "ph": "M", "name": "process_name", "pid": EXECUTOR_PID,
+            "tid": 0, "args": {"name": f"{label} (executor)"},
+        })
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": EXECUTOR_PID,
+            "tid": 1, "args": {"name": "sweep points"},
+        })
+        out.extend(_executor_rows(events, exec_events))
     other_data: Dict[str, Any] = {
         "schema_version": TRACE_SCHEMA_VERSION,
         "generator": "comb-obs",

@@ -51,6 +51,7 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "point_start": ("kind", "system", "msg_bytes", "interval_iters",
                     "warmup_windows"),
     "point_end": ("kind",),
+    "point_cached": ("kind",),
 }
 
 #: Kind-name prefixes emitted with dynamically composed kinds: the fault

@@ -185,7 +185,9 @@ def _run_experiment(
     raise ScenarioError(f"unknown experiment kind {kind!r}")
 
 
-def _replication_executor(spec: Dict[str, Any]) -> Optional[SweepExecutor]:
+def _replication_executor(
+    spec: Dict[str, Any], point_log: bool = False
+) -> Optional[SweepExecutor]:
     """Executor for the scenario's ``replication`` request (or ``None``)."""
     rep_spec = spec.get("replication")
     if rep_spec is None:
@@ -203,16 +205,26 @@ def _replication_executor(spec: Dict[str, Any]) -> Optional[SweepExecutor]:
         ci_width = float(ci_width)
     if reps == 1:
         return None  # single-shot: keep the bit-identical direct path
-    return SweepExecutor(reps=reps, ci_width=ci_width)
+    return SweepExecutor(reps=reps, ci_width=ci_width, point_log=point_log)
 
 
-def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
-    """Execute a scenario; returns the result document (JSON-ready)."""
+def run_scenario(spec: Union[Dict, str, Path], ledger: Any = None) -> Dict:
+    """Execute a scenario; returns the result document (JSON-ready).
+
+    ``ledger`` is an open :class:`~repro.obs.ledger.RunLedger`: replicated
+    scenarios (the executor-driven path) append per-point outcome records
+    and every scenario appends a closing run record.  Single-shot
+    scenarios keep the bit-identical direct path — the ledger then only
+    carries the run summary.
+    """
+    import time as _time
+
     if not isinstance(spec, dict):
         spec = json.loads(Path(spec).read_text())
     if "systems" not in spec or "experiments" not in spec:
         raise ScenarioError("scenario needs 'systems' and 'experiments'")
-    executor = _replication_executor(spec)
+    t0_wall = _time.perf_counter() if ledger is not None else 0.0
+    executor = _replication_executor(spec, point_log=ledger is not None)
     results: Dict[str, Any] = {
         "name": spec.get("name", "scenario"),
         "systems": [],
@@ -238,6 +250,27 @@ def run_scenario(spec: Union[Dict, str, Path]) -> Dict:
         results["disagreements"] = [
             d.detail for d in executor.disagreements
         ]
+    if ledger is not None:
+        from datetime import datetime, timezone
+
+        from . import compiled
+
+        if executor is not None:
+            for point in executor.point_records:
+                ledger.record_point(
+                    key=point["key"], kind=point["kind"],
+                    system=point["system"], outcome=point["outcome"],
+                    wall_s=point["wall_s"], seed=point["seed"],
+                )
+        ledger.record_run(
+            wall_s=round(_time.perf_counter() - t0_wall, 4),
+            timestamp=datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            compiled=compiled.active(),
+            reps=executor.reps if executor is not None else 1,
+            cache=executor.stats.to_dict() if executor is not None else {},
+        )
     return results
 
 

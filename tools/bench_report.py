@@ -67,15 +67,40 @@ def main() -> int:
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="with --compare: exit nonzero when the new "
                         "record regresses significantly")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip appending this run to the persistent "
+                        "run ledger")
+    parser.add_argument("--ledger-dir", default=None, metavar="DIR",
+                        help="run-ledger directory (default: "
+                        "results/ledger)")
     args = parser.parse_args()
+
+    ledger = None
+    if not args.no_ledger:
+        import uuid
+
+        from repro.obs.ledger import DEFAULT_LEDGER_DIR, RunLedger
+
+        ledger_dir = Path(args.ledger_dir) if args.ledger_dir \
+            else DEFAULT_LEDGER_DIR
+        try:
+            ledger = RunLedger(ledger_dir, uuid.uuid4().hex[:12], "bench")
+        except OSError as exc:
+            print(f"error: cannot open run ledger under {ledger_dir}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
 
     cache = None if args.no_cache else PointCache(args.cache_dir)
     try:
         record = run_bench(ids=args.ids, per_decade=args.per_decade,
                            jobs=args.jobs, cache=cache,
-                           profile=args.profile, echo=print)
+                           profile=args.profile, echo=print,
+                           ledger=ledger)
     except ValueError as exc:
         parser.error(str(exc))
+    finally:
+        if ledger is not None:
+            ledger.close()
     path = write_record(record, args.out_dir)
     cache_doc = record["cache"]
     lookups = cache_doc["hits"] + cache_doc["misses"]
